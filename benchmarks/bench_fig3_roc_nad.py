@@ -1,0 +1,33 @@
+"""E-F3 — regenerate Figure 3 (NAD ROC curves).
+
+Reuses the detection cache primed by the Table III bench, so this bench
+mostly measures curve computation.
+"""
+
+from repro.eval.experiments import fig3
+
+from .common import bench_datasets, full_run
+
+
+def test_fig3_roc_curves_nad(benchmark, profile):
+    datasets = bench_datasets(fig3.DATASETS, ["cora"])
+    methods = fig3.METHODS if full_run() else ["Radar", "DOMINANT", "CoLA",
+                                               "SL-GAD"]
+    result = benchmark.pedantic(
+        lambda: fig3.run(profile=profile, datasets=datasets, methods=methods,
+                         include_dgraph=full_run()),
+        rounds=1, iterations=1,
+    )
+    result.save()
+    print("\n" + result.render())
+
+    for name, (fpr, tpr) in result.series.items():
+        assert len(fpr) == len(tpr)
+        assert tpr[0] <= 0.2 and tpr[-1] == 1.0, f"malformed curve {name}"
+        # TPR non-decreasing along the resampled grid.
+        assert all(b >= a - 1e-9 for a, b in zip(tpr, tpr[1:]))
+    # BOURNE's curve is at worst within a hair of the best baseline
+    # (same margin convention as the Table III bench).
+    aucs = {row[1]: row[2] for row in result.rows if row[0] == datasets[0]}
+    bourne = aucs.pop("BOURNE")
+    assert bourne > max(aucs.values()) - 0.03, (bourne, aucs)

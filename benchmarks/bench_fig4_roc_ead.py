@@ -1,0 +1,22 @@
+"""E-F4 — regenerate Figure 4 (EAD ROC curves)."""
+
+from repro.eval.experiments import fig4
+
+from .common import bench_datasets, full_run
+
+
+def test_fig4_roc_curves_ead(benchmark, profile):
+    datasets = bench_datasets(fig4.DATASETS, ["cora"])
+    result = benchmark.pedantic(
+        lambda: fig4.run(profile=profile, datasets=datasets,
+                         include_dgraph=full_run()),
+        rounds=1, iterations=1,
+    )
+    result.save()
+    print("\n" + result.render())
+
+    for name, (fpr, tpr) in result.series.items():
+        assert tpr[-1] == 1.0, f"malformed curve {name}"
+    aucs = {row[1]: row[2] for row in result.rows if row[0] == datasets[0]}
+    bourne = aucs.pop("BOURNE")
+    assert bourne > max(aucs.values()) - 0.03, (bourne, aucs)

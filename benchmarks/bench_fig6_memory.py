@@ -1,0 +1,28 @@
+"""E-F6 — regenerate Figure 6 (training/inference peak memory)."""
+
+from repro.eval.experiments import fig6, table5
+
+from .common import bench_datasets
+
+
+def test_fig6_memory_usage(benchmark, profile):
+    datasets = bench_datasets(table5.DATASETS, ["cora", "pubmed"])
+    result = benchmark.pedantic(
+        lambda: fig6.run(profile=profile, datasets=datasets),
+        rounds=1, iterations=1,
+    )
+    result.save()
+    print("\n" + result.render(precision=1))
+
+    # The paper's Figure 6 has BOURNE using the least GPU memory because
+    # the contrastive baselines keep negative-pair subgraphs resident.
+    # On this CPU substrate the repository deliberately trades memory
+    # for speed (dense per-view operators, DESIGN.md §2), so BOURNE's
+    # tracemalloc peak is *larger* — a recorded deviation (see
+    # EXPERIMENTS.md).  The bench asserts measurement sanity and bounds:
+    # every peak is positive and within an order of magnitude across
+    # methods, i.e. no method pathologically blows up with graph size.
+    for dataset in datasets:
+        peaks = {row[1]: row[2] for row in result.rows if row[0] == dataset}
+        assert all(v > 0 for v in peaks.values()), peaks
+        assert max(peaks.values()) < 20 * min(peaks.values()), peaks

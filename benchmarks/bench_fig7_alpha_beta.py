@@ -1,0 +1,24 @@
+"""E-F7 — regenerate Figure 7 (AUC surface over balance factors α, β)."""
+
+from repro.eval.experiments import fig7
+
+from .common import bench_datasets, full_run
+
+
+def test_fig7_balance_factor_surface(benchmark, profile):
+    datasets = bench_datasets(fig7.DATASETS, ["cora"])
+    grid = fig7.GRID if full_run() else [0.2, 0.6, 1.0]
+    result = benchmark.pedantic(
+        lambda: fig7.run(profile=profile, datasets=datasets, grid=grid),
+        rounds=1, iterations=1,
+    )
+    result.save()
+    print("\n" + result.render())
+
+    for dataset in datasets:
+        aucs = [row[3] for row in result.rows if row[0] == dataset]
+        assert len(aucs) == len(grid) ** 2
+        assert all(0.0 <= a <= 1.0 for a in aucs)
+        # The surface is informative: the balance factors matter.
+        assert max(aucs) - min(aucs) > 0.005, f"flat surface on {dataset}"
+        assert max(aucs) > 0.65, f"no good operating point on {dataset}"

@@ -1,0 +1,39 @@
+"""E-F8 — regenerate Figure 8 (hidden dim / eval rounds / decay sweeps).
+
+Shape claims: (a) AUC grows then saturates with D'; (b) R=1 is worse
+than saturated R; (c) high decay τ is not worse than very low τ.
+"""
+
+from repro.eval.experiments import fig8
+
+from .common import bench_datasets, full_run
+
+
+def test_fig8_parameter_sensitivity(benchmark, profile):
+    datasets = bench_datasets(fig8.DATASETS, ["cora"])
+    kwargs = dict(
+        hidden_dims=fig8.HIDDEN_DIMS if full_run() else [4, 32, 128],
+        eval_rounds=fig8.EVAL_ROUNDS if full_run() else [1, 4, 16],
+        decay_rates=fig8.DECAY_RATES if full_run() else [0.2, 0.9, 0.99],
+    )
+    result = benchmark.pedantic(
+        lambda: fig8.run(profile=profile, datasets=datasets, **kwargs),
+        rounds=1, iterations=1,
+    )
+    result.save()
+    print("\n" + result.render())
+
+    for dataset in datasets:
+        dims, dim_aucs = result.series[f"{dataset}/hidden_dim"]
+        # Saturation: the largest dim is no better than the mid one by a
+        # wide margin, and tiny dims underperform the best.
+        assert max(dim_aucs) - dim_aucs[0] > -0.02
+        assert max(dim_aucs) > 0.6
+
+        rounds, round_aucs = result.series[f"{dataset}/eval_rounds"]
+        assert round_aucs[-1] >= round_aucs[0] - 0.02, (
+            f"more rounds hurt on {dataset}: {list(zip(rounds, round_aucs))}"
+        )
+
+        taus, tau_aucs = result.series[f"{dataset}/decay_rate"]
+        assert tau_aucs[-1] >= max(tau_aucs) - 0.1

@@ -1,0 +1,24 @@
+"""E-T2 — regenerate Table II (dataset statistics after injection)."""
+
+from repro.eval.experiments import table2
+
+from .common import bench_datasets
+
+
+def test_table2_dataset_statistics(benchmark, profile):
+    datasets = bench_datasets(table2.DATASETS, ["cora", "pubmed", "dgraph"])
+    result = benchmark.pedantic(
+        lambda: table2.run(profile=profile, datasets=datasets),
+        rounds=1, iterations=1,
+    )
+    result.save()
+    print("\n" + result.render(precision=0))
+
+    # Shape checks: every dataset generated, anomalies of both kinds.
+    assert len(result.rows) == len(datasets)
+    for row in result.rows:
+        dataset, nodes, _, edges, *_ = row
+        node_anoms, edge_anoms = row[7], row[9]
+        assert nodes > 0 and edges > 0
+        assert node_anoms > 0, f"{dataset} has no node anomalies"
+        assert edge_anoms > 0, f"{dataset} has no edge anomalies"

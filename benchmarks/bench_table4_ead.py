@@ -1,0 +1,28 @@
+"""E-T4 — regenerate Table IV (edge anomaly detection).
+
+Shape claims: BOURNE's edge AUC beats AANE/UGED/GAE; GAE is weakest.
+"""
+
+from repro.eval.experiments import table4
+
+from .common import bench_datasets
+
+
+def test_table4_edge_anomaly_detection(benchmark, profile):
+    datasets = bench_datasets(table4.DATASETS, ["cora"])
+    result = benchmark.pedantic(
+        lambda: table4.run(profile=profile, datasets=datasets),
+        rounds=1, iterations=1,
+    )
+    result.save()
+    print("\n" + result.render())
+
+    by_dataset: dict = {}
+    for dataset, method, _, _, auc, _ in result.rows:
+        by_dataset.setdefault(dataset, {})[method] = auc
+    for dataset, aucs in by_dataset.items():
+        bourne = aucs.pop("BOURNE")
+        assert bourne > 0.65, f"BOURNE edge AUC {bourne:.3f} weak on {dataset}"
+        assert bourne > max(aucs.values()) - 0.03, (
+            f"{dataset}: BOURNE {bourne:.3f} vs baselines {aucs}"
+        )

@@ -1,0 +1,30 @@
+"""E-T5 — regenerate Table V (training/inference wall-clock).
+
+Shape claims: BOURNE trains and infers faster than CoLA and SL-GAD on
+every dataset, because it encodes one positive view pair per target
+while CoLA encodes 2 subgraphs and SL-GAD 4.
+"""
+
+from repro.eval.experiments import table5
+
+from .common import bench_datasets
+
+
+def test_table5_compute_time(benchmark, profile):
+    datasets = bench_datasets(table5.DATASETS, ["cora", "pubmed"])
+    result = benchmark.pedantic(
+        lambda: table5.run(profile=profile, datasets=datasets),
+        rounds=1, iterations=1,
+    )
+    result.save()
+    print("\n" + result.render(precision=2))
+    rates = table5.acceleration_rates(result)
+    print(f"acceleration rates (training): {rates}")
+
+    for dataset, by_method in rates.items():
+        # SL-GAD must cost more than CoLA (4 vs 2 subgraph encodings),
+        # and both must be slower than BOURNE.
+        assert by_method["SL-GAD"] > by_method["CoLA"] * 0.8, dataset
+        assert by_method["CoLA"] > 1.0, (
+            f"{dataset}: CoLA not slower than BOURNE ({by_method})"
+        )

@@ -1,0 +1,20 @@
+"""Shared helpers for the bench suite (see conftest for fixtures)."""
+
+import os
+
+from repro.eval.runner import get_profile
+
+
+def bench_profile():
+    """Profile used by the bench suite (env-overridable)."""
+    return get_profile(os.environ.get("REPRO_PROFILE", "default"))
+
+
+def full_run() -> bool:
+    """Whether to cover every dataset (REPRO_BENCH_FULL=1)."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_datasets(all_datasets, representative):
+    """Full dataset list or the representative subset."""
+    return all_datasets if full_run() else representative

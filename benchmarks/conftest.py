@@ -1,0 +1,19 @@
+"""Benchmark-suite fixtures.
+
+Every bench regenerates one paper artifact (table or figure) at the
+``default`` evaluation profile, scoped to a representative dataset
+subset so the whole suite finishes on a laptop CPU.  Set
+``REPRO_BENCH_FULL=1`` to run every dataset the paper reports.
+
+Benches share one in-process detection cache (``run_detection``), so
+BOURNE and the baselines are trained once per dataset across the suite.
+"""
+
+import pytest
+
+from .common import bench_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return bench_profile()

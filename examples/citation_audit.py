@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Citation-network audit: BOURNE vs the strongest single-task baselines.
+
+Audits a citation graph for manipulated papers (attribute anomalies) and
+citation rings (structural cliques), comparing BOURNE's unified scores
+against CoLA (contrastive NAD) and UGED (edge detection).  Prints ROC
+operating points so the curves can be eyeballed without a plotting
+stack.
+
+    python examples/citation_audit.py
+"""
+
+import os
+
+from repro.baselines import CoLA, UGED
+from repro.core import BourneConfig, score_graph, train_bourne
+from repro.datasets import load_benchmark
+from repro.eval import normalize_graph
+from repro.metrics import downsample_curve, roc_auc_score, roc_curve
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.15"))
+EPOCHS = int(os.environ.get("REPRO_EPOCHS", "20"))
+
+
+def print_roc(name, labels, scores, points=6):
+    fpr, tpr, _ = roc_curve(labels, scores)
+    grid, tpr_grid = downsample_curve(fpr, tpr, points=points)
+    ops = "  ".join(f"({f:.1f},{t:.2f})" for f, t in zip(grid, tpr_grid))
+    print(f"  {name:8s} AUC={roc_auc_score(labels, scores):.4f}  ROC: {ops}")
+
+
+def main():
+    graph = normalize_graph(load_benchmark("cora", seed=0, scale=SCALE))
+    print(f"auditing {graph}")
+
+    config = BourneConfig(hidden_dim=64, predictor_hidden=128,
+                          subgraph_size=12, alpha=0.8, beta=0.2,
+                          epochs=EPOCHS, eval_rounds=8, seed=0)
+    model, _ = train_bourne(graph, config)
+    bourne = score_graph(model, graph)
+
+    cola = CoLA(hidden=64, subgraph_size=8, epochs=max(4, EPOCHS // 3),
+                eval_rounds=4, seed=0).fit(graph)
+    uged = UGED(hidden=64, epochs=10, seed=0).fit(graph)
+
+    print("\nnode anomalies (manipulated papers + citation rings):")
+    print_roc("BOURNE", graph.node_labels, bourne.node_scores)
+    print_roc("CoLA", graph.node_labels, cola.score_nodes(graph))
+
+    print("\nedge anomalies (fabricated citations):")
+    print_roc("BOURNE", graph.edge_labels, bourne.edge_scores)
+    print_roc("UGED", graph.edge_labels, uged.score_edges(graph))
+
+    print("\nBOURNE scores both object types from one trained model; the "
+          "baselines each cover only one task.")
+
+
+if __name__ == "__main__":
+    main()

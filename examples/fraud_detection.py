@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Financial fraud detection: the paper's motivating scenario.
+
+In transaction/contact networks, fraudsters (anomalous nodes) and their
+abnormal interactions (anomalous edges) co-occur (Figure 1a).  This
+example uses the DGraph-style financial stand-in — planted fraudsters
+with deviating profiles plus injected anomalous contact edges — and
+shows how BOURNE's *unified* detection exploits that coupling: the node
+and edge rankings reinforce each other.
+
+    python examples/fraud_detection.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.anomaly import anomaly_correlation
+from repro.core import BourneConfig, score_graph, train_bourne
+from repro.datasets import load_benchmark
+from repro.eval import normalize_graph
+from repro.metrics import precision_at_k, roc_auc_score
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.05"))
+EPOCHS = int(os.environ.get("REPRO_EPOCHS", "15"))
+
+
+def main():
+    graph = normalize_graph(load_benchmark("dgraph", seed=0, scale=SCALE))
+    fraudsters = int(graph.node_labels.sum())
+    bad_edges = int(graph.edge_labels.sum())
+    print(f"contact network: {graph.num_nodes} users, {graph.num_edges} "
+          f"contacts, {fraudsters} known fraudsters, {bad_edges} abnormal contacts")
+    print(f"anomaly correlation C_ano = {anomaly_correlation(graph):.3f} "
+          "(fraud edges cluster around fraudsters)")
+
+    config = BourneConfig(
+        hidden_dim=64, predictor_hidden=128, subgraph_size=12,
+        alpha=0.6, beta=0.4, epochs=EPOCHS, batch_size=256,
+        eval_rounds=6, targets_per_epoch=1500, seed=0,
+    )
+    model, _ = train_bourne(graph, config)
+    scores = score_graph(model, graph)
+
+    node_auc = roc_auc_score(graph.node_labels, scores.node_scores)
+    edge_auc = roc_auc_score(graph.edge_labels, scores.edge_scores)
+    print(f"fraudster detection AUC: {node_auc:.4f}")
+    print(f"abnormal-contact detection AUC: {edge_auc:.4f}")
+
+    # Analyst workflow: review a fixed-size queue of top suspects.
+    for k in (10, 50):
+        k = min(k, graph.num_nodes)
+        precision = precision_at_k(graph.node_labels, scores.node_scores, k)
+        lift = precision / max(graph.node_labels.mean(), 1e-9)
+        print(f"top-{k} review queue: precision {precision:.3f} "
+              f"({lift:.1f}x over random auditing)")
+
+    # Mutual reinforcement: edges incident to top-ranked fraudsters
+    # should themselves rank high.
+    top_nodes = set(np.argsort(scores.node_scores)[::-1][:20].tolist())
+    incident = np.array([
+        (int(u) in top_nodes) or (int(v) in top_nodes) for u, v in graph.edges
+    ])
+    if incident.any() and (~incident).any():
+        inside = scores.edge_scores[incident].mean()
+        outside = scores.edge_scores[~incident].mean()
+        print(f"mean edge score near top fraudsters {inside:.3f} vs "
+              f"elsewhere {outside:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: train BOURNE on a benchmark graph and rank anomalies.
+
+Runs on a scaled-down synthetic Cora (≈400 nodes) in under a minute on
+a laptop CPU::
+
+    python examples/quickstart.py
+
+Environment knobs: ``REPRO_SCALE`` (default 0.15), ``REPRO_EPOCHS``
+(default 20).
+"""
+
+import os
+
+import numpy as np
+
+from repro.core import BourneConfig, score_graph, train_bourne
+from repro.datasets import load_benchmark
+from repro.eval import normalize_graph
+from repro.metrics import detection_summary
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.15"))
+EPOCHS = int(os.environ.get("REPRO_EPOCHS", "20"))
+
+
+def main():
+    # 1. A benchmark graph with the paper's anomaly injection applied.
+    graph = normalize_graph(load_benchmark("cora", seed=0, scale=SCALE))
+    print(f"loaded {graph}")
+
+    # 2. Configure and train the unified detector (Adam on the online
+    #    GCN branch, EMA on the target HGNN branch — no negative pairs).
+    config = BourneConfig(
+        hidden_dim=64, predictor_hidden=128, subgraph_size=12,
+        alpha=0.8, beta=0.2, epochs=EPOCHS, batch_size=256,
+        eval_rounds=8, seed=0,
+    )
+    model, history = train_bourne(graph, config, verbose=False)
+    print(f"trained {config.epochs} epochs; "
+          f"loss {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
+
+    # 3. Score every node AND every edge in one pass.
+    scores = score_graph(model, graph)
+    node_report = detection_summary(graph.node_labels, scores.node_scores)
+    edge_report = detection_summary(graph.edge_labels, scores.edge_scores)
+    print(f"node anomaly detection: AUC={node_report['auc']:.4f} "
+          f"PRE={node_report['precision']:.4f} REC={node_report['recall']:.4f}")
+    print(f"edge anomaly detection: AUC={edge_report['auc']:.4f} "
+          f"PRE={edge_report['precision']:.4f} REC={edge_report['recall']:.4f}")
+
+    # 4. Inspect the top-ranked suspects.
+    top_nodes = np.argsort(scores.node_scores)[::-1][:10]
+    hits = graph.node_labels[top_nodes].sum()
+    print(f"top-10 suspicious nodes: {top_nodes.tolist()} "
+          f"({hits}/10 are true anomalies)")
+    top_edges = np.argsort(scores.edge_scores)[::-1][:10]
+    hits = graph.edge_labels[top_edges].sum()
+    pairs = [(int(u), int(v)) for u, v in graph.edges[top_edges[:5]]]
+    print(f"top-10 suspicious edges: {pairs}... ({hits}/10 are true anomalies)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Anomalous-region hunting: the unified scores extended to subgraphs.
+
+The paper leaves subgraph-level anomaly detection as future work
+(Section II-C); this example demonstrates the extension this repository
+ships (`repro.core.score_subgraphs` / `rank_communities`): because
+BOURNE prices nodes *and* edges, a region's anomaly evidence is the
+combination of both, z-scored against size-matched random regions.
+
+    python examples/subgraph_hunting.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.core import BourneConfig, rank_communities, score_graph, train_bourne
+from repro.datasets import load_benchmark
+from repro.eval import normalize_graph
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.15"))
+EPOCHS = int(os.environ.get("REPRO_EPOCHS", "20"))
+
+
+def main():
+    graph = normalize_graph(load_benchmark("cora", seed=0, scale=SCALE))
+    print(f"hunting anomalous regions in {graph}")
+
+    config = BourneConfig(hidden_dim=64, predictor_hidden=128,
+                          subgraph_size=12, alpha=0.8, beta=0.2,
+                          epochs=EPOCHS, eval_rounds=8, seed=0)
+    model, _ = train_bourne(graph, config)
+    scores = score_graph(model, graph)
+
+    ranked = rank_communities(graph, scores, num_seeds=12, radius=1)
+    print(f"\n{'rank':>4} {'size':>5} {'z-score':>8} {'anomalous members':>18}")
+    for rank, region in enumerate(ranked[:8], start=1):
+        members = region.nodes
+        anomalous = int(graph.node_labels[members].sum())
+        print(f"{rank:>4} {len(members):>5} {region.z_score:>8.2f} "
+              f"{anomalous:>5}/{len(members)}")
+
+    # The injected cliques should surface: the top regions must be far
+    # denser in true anomalies than the graph at large.
+    top = ranked[0].nodes
+    top_rate = graph.node_labels[top].mean()
+    base_rate = graph.node_labels.mean()
+    print(f"\ntop region anomaly rate {top_rate:.2f} vs base rate "
+          f"{base_rate:.2f} ({top_rate / max(base_rate, 1e-9):.1f}x enrichment)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper (default profile).
+
+Writes rendered text to stdout and CSVs under ``results/``.  Pass
+experiment names to run a subset, e.g.::
+
+    python scripts/generate_results.py table3 fig5
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.eval.experiments import ALL_EXPERIMENTS
+from repro.eval.runner import get_profile
+
+ORDER = ["table2", "table3", "table4", "fig3", "fig4", "table5", "fig6",
+         "fig5", "fig8", "fig10", "fig7", "headline"]
+
+
+def main(argv):
+    wanted = argv[1:] if len(argv) > 1 else ORDER
+    profile = get_profile()
+    print(f"# profile: {profile.name} (scale={profile.scale})", flush=True)
+    for name in wanted:
+        module = ALL_EXPERIMENTS[name]
+        start = time.time()
+        print(f"\n### running {name} ...", flush=True)
+        result = module.run(profile=profile)
+        result.save()
+        print(result.render(), flush=True)
+        print(f"### {name} done in {time.time() - start:.1f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

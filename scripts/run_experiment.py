@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Run one experiment (optionally on a dataset subset) — parallel-friendly.
+
+Usage::
+
+    python scripts/run_experiment.py table3 cora pubmed
+    REPRO_RESULTS_DIR=results/p1 python scripts/run_experiment.py fig5 cora
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.eval.experiments import ALL_EXPERIMENTS
+from repro.eval.runner import get_profile
+
+
+def main(argv):
+    names = argv[1].split(",")
+    datasets = argv[2:] or None
+    profile = get_profile()
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        start = time.time()
+        print(f"### running {name} datasets={datasets or 'default'} "
+              f"profile={profile.name}", flush=True)
+        kwargs = {}
+        if datasets:
+            if name == "fig10":
+                kwargs["dataset"] = datasets[0]
+            else:
+                kwargs["datasets"] = datasets
+        result = module.run(profile=profile, **kwargs)
+        result.save()
+        print(result.render(), flush=True)
+        print(f"### {name} done in {time.time() - start:.1f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

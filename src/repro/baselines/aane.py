@@ -1,0 +1,91 @@
+"""AANE (Duan et al., ICDM 2020): anomaly-aware network embedding.
+
+A GCN produces node embeddings; the link probability of an edge is the
+hyperbolic tangent of the endpoint inner product.  Training is
+anomaly-aware: edges whose current predicted probability is lowest are
+down-weighted (they are suspected anomalies and should not drag the
+embedding).  An edge is anomalous when its predicted probability is
+low — score = −tanh(z_u·z_v).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.normalize import gcn_operator
+from ..nn.conv import GCNConv
+from ..nn.module import Module
+from ..optim.adam import Adam
+from ..tensor.autograd import Tensor, no_grad
+from .base import BaseDetector, sample_negative_edges
+
+
+class _AANEEncoder(Module):
+    def __init__(self, in_features: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = GCNConv(in_features, hidden, rng)
+        self.conv2 = GCNConv(hidden, hidden, rng, activation=None)
+
+    def forward(self, operator, x: Tensor) -> Tensor:
+        return self.conv2(operator, self.conv1(operator, x))
+
+
+class AANE(BaseDetector):
+    """Anomaly-aware GCN embedding edge detector."""
+
+    detects_edges = True
+
+    def __init__(self, hidden: int = 64, epochs: int = 100, lr: float = 5e-3,
+                 suspect_fraction: float = 0.1, seed: int = 0):
+        super().__init__(seed)
+        if not 0.0 <= suspect_fraction < 1.0:
+            raise ValueError("suspect_fraction must be in [0, 1)")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.suspect_fraction = suspect_fraction
+        self._embeddings: np.ndarray | None = None
+
+    def fit(self, graph: Graph) -> "AANE":
+        rng = np.random.default_rng(self.seed)
+        operator = gcn_operator(graph.adjacency)
+        encoder = _AANEEncoder(graph.num_features, self.hidden, rng)
+        optimizer = Adam(encoder.parameters(), lr=self.lr)
+        x = Tensor(graph.features)
+        edges = graph.edges
+
+        for _ in range(self.epochs):
+            z = encoder(operator, x)
+            pos_logits = (z[edges[:, 0]] * z[edges[:, 1]]).sum(axis=1)
+            pos_prob = pos_logits.tanh()
+
+            # Anomaly-aware weights: the lowest-probability edges are
+            # suspected anomalies and get zero weight this round.
+            weights = np.ones(len(edges))
+            suspects = int(self.suspect_fraction * len(edges))
+            if suspects > 0:
+                order = np.argsort(pos_prob.data)
+                weights[order[:suspects]] = 0.0
+            weights = weights / max(weights.sum(), 1.0)
+            pos_loss = ((1.0 - pos_prob) * Tensor(weights)).sum()
+
+            negatives = sample_negative_edges(graph, max(1, len(edges)), rng)
+            neg_logits = (z[negatives[:, 0]] * z[negatives[:, 1]]).sum(axis=1)
+            neg_loss = (neg_logits.tanh() + 1.0).mean()
+
+            loss = pos_loss + neg_loss
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        with no_grad():
+            self._embeddings = encoder(operator, x).data
+        self._fitted = True
+        return self
+
+    def score_edges(self, graph: Graph) -> np.ndarray:
+        self._require_fitted()
+        z = self._embeddings
+        logits = (z[graph.edges[:, 0]] * z[graph.edges[:, 1]]).sum(axis=1)
+        return -np.tanh(logits)

@@ -1,0 +1,64 @@
+"""BOURNE core: the paper's primary contribution."""
+
+from .config import BourneConfig, citation_config, social_config
+from .discriminator import discriminate
+from .model import BatchScores, Bourne
+from .persistence import load_model, save_model
+from .scoring import AnomalyScores, score_graph
+from .subgraph_scoring import SubgraphScore, rank_communities, score_subgraphs
+from .trainer import BourneTrainer, TrainingHistory, train_bourne
+from .variants import (
+    ABLATIONS,
+    without_gnn,
+    without_hgnn,
+    without_patch_level,
+    without_perturbation,
+    without_subgraph_level,
+)
+from .views import (
+    BatchedGraphViews,
+    BatchedHypergraphViews,
+    GraphView,
+    HypergraphView,
+    batch_graph_views,
+    batch_hypergraph_views,
+    build_graph_view,
+    build_hypergraph_view,
+    mask_features,
+    perturb_incidence,
+)
+
+__all__ = [
+    "Bourne",
+    "BourneConfig",
+    "BourneTrainer",
+    "TrainingHistory",
+    "train_bourne",
+    "AnomalyScores",
+    "score_graph",
+    "BatchScores",
+    "save_model",
+    "load_model",
+    "SubgraphScore",
+    "score_subgraphs",
+    "rank_communities",
+    "discriminate",
+    "citation_config",
+    "social_config",
+    "ABLATIONS",
+    "without_patch_level",
+    "without_subgraph_level",
+    "without_hgnn",
+    "without_gnn",
+    "without_perturbation",
+    "GraphView",
+    "HypergraphView",
+    "BatchedGraphViews",
+    "BatchedHypergraphViews",
+    "build_graph_view",
+    "build_hypergraph_view",
+    "batch_graph_views",
+    "batch_hypergraph_views",
+    "mask_features",
+    "perturb_incidence",
+]

@@ -1,0 +1,27 @@
+"""Cosine-similarity discriminator (Section IV-D).
+
+The anomaly score of a target object against its swapped contexts is
+
+    S = (α + β) − α·cos(target, patch_ctx) − β·cos(target, subgraph_ctx)
+
+(Eq. 13 for nodes, Eq. 18 for edges).  Normal objects agree with their
+contexts (cos → 1, S → 0); anomalies disagree (S grows up to α+β+...).
+"""
+
+from __future__ import annotations
+
+from ..tensor import functional as F
+from ..tensor.autograd import Tensor
+
+
+def discriminate(target: Tensor, patch_context: Tensor,
+                 subgraph_context: Tensor, alpha: float, beta: float) -> Tensor:
+    """Row-wise disagreement score.
+
+    All three tensors are ``(B, D')`` (rows are paired); the result is
+    ``(B,)``.  Gradients flow through whichever inputs carry them —
+    BOURNE detaches the target-network side before calling this.
+    """
+    patch_term = F.cosine_similarity(target, patch_context, axis=-1)
+    subgraph_term = F.cosine_similarity(target, subgraph_context, axis=-1)
+    return (alpha + beta) - alpha * patch_term - beta * subgraph_term

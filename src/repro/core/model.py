@@ -1,0 +1,296 @@
+"""The BOURNE model: unified node + edge anomaly scoring.
+
+Assembles view construction, the two encoding channels, the EMA target
+update, and the context-swapping discriminator into one object with a
+``forward_batch`` returning differentiable scores for training and
+plain scores for inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.sampling import sample_enclosing_subgraph
+from ..optim.ema import ExponentialMovingAverage
+from ..tensor.autograd import Tensor, no_grad
+from ..utils.seed import rng_from_seed
+from .config import BourneConfig
+from .discriminator import discriminate
+from .encoders import (
+    GraphTargetEncoder,
+    GraphViewEncoder,
+    HypergraphOnlineEncoder,
+    HypergraphViewEncoder,
+)
+from .views import (
+    BatchedGraphViews,
+    BatchedHypergraphViews,
+    batch_graph_views,
+    batch_hypergraph_views,
+    build_graph_view,
+    build_hypergraph_view,
+    mask_features,
+)
+
+
+@dataclass
+class BatchScores:
+    """Differentiable output of one forward pass over a target batch."""
+
+    node_scores: Optional[Tensor]     # (B,) or None (edge_only mode)
+    edge_scores: Optional[Tensor]     # (Σ Mtar,) or None (node_only mode)
+    edge_owner: np.ndarray            # (Σ Mtar,)
+    edge_orig_ids: np.ndarray         # (Σ Mtar,)
+    node_valid: np.ndarray            # (B,) bool — False for degenerate targets
+
+
+class Bourne:
+    """BOURNE: bootstrapped self-supervised unified graph anomaly detector.
+
+    Parameters
+    ----------
+    num_features:
+        Attribute dimensionality ``D`` of the input graphs.
+    config:
+        Hyper-parameters; see :class:`BourneConfig`.
+    """
+
+    def __init__(self, num_features: int, config: Optional[BourneConfig] = None):
+        self.config = config or BourneConfig()
+        self.num_features = num_features
+        cfg = self.config
+        init_rng = rng_from_seed(cfg.seed)
+        self.sample_rng = rng_from_seed(cfg.seed + 1)
+
+        if cfg.mode == "unified":
+            self.online = GraphViewEncoder(num_features, cfg.hidden_dim,
+                                           cfg.predictor_hidden, cfg.num_layers,
+                                           init_rng)
+            self.target = HypergraphViewEncoder(num_features, cfg.hidden_dim,
+                                                cfg.num_layers, init_rng)
+        elif cfg.mode == "node_only":
+            self.online = GraphViewEncoder(num_features, cfg.hidden_dim,
+                                           cfg.predictor_hidden, cfg.num_layers,
+                                           init_rng, backbone=cfg.backbone)
+            self.target = GraphTargetEncoder(num_features, cfg.hidden_dim,
+                                             cfg.num_layers, init_rng,
+                                             backbone=cfg.backbone)
+        else:  # edge_only
+            self.online = HypergraphOnlineEncoder(num_features, cfg.hidden_dim,
+                                                  cfg.predictor_hidden,
+                                                  cfg.num_layers, init_rng)
+            self.target = HypergraphViewEncoder(num_features, cfg.hidden_dim,
+                                                cfg.num_layers, init_rng)
+
+        self.ema = ExponentialMovingAverage(
+            self.online.encoder_parameters(),
+            self.target.encoder_parameters(),
+            decay=cfg.decay_rate,
+        )
+        self.ema.initialize()
+
+    # ------------------------------------------------------------------
+    # View preparation
+    # ------------------------------------------------------------------
+    def prepare_batch(
+        self,
+        graph: Graph,
+        targets: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+        augment: bool = True,
+    ) -> Tuple[BatchedGraphViews, BatchedHypergraphViews]:
+        """Sample enclosing subgraphs and build both views for ``targets``."""
+        cfg = self.config
+        rng = rng if rng is not None else self.sample_rng
+        graph_views, hyper_views = [], []
+        for target in targets:
+            sub = sample_enclosing_subgraph(
+                graph, int(target), k=cfg.hop_size, size=cfg.subgraph_size, rng=rng
+            )
+            graph_views.append(build_graph_view(sub))
+            hyper_views.append(build_hypergraph_view(
+                sub, rng,
+                feature_mask_prob=cfg.feature_mask_prob,
+                incidence_drop_prob=cfg.incidence_drop_prob,
+                augment=augment,
+            ))
+        return (batch_graph_views(graph_views),
+                batch_hypergraph_views(hyper_views, graph.num_features))
+
+    # ------------------------------------------------------------------
+    # Forward passes per mode
+    # ------------------------------------------------------------------
+    def forward_batch(
+        self,
+        gviews: BatchedGraphViews,
+        hviews: BatchedHypergraphViews,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BatchScores:
+        """Compute node / edge anomaly scores for one prepared batch.
+
+        Gradients flow through the online network only (Algorithm 1);
+        the target network is evaluated under ``no_grad`` unless
+        ``config.grad_through_target`` is set.
+        """
+        mode = self.config.mode
+        if mode == "unified":
+            return self._forward_unified(gviews, hviews)
+        if mode == "node_only":
+            return self._forward_node_only(gviews, rng or self.sample_rng)
+        return self._forward_edge_only(hviews)
+
+    def _target_forward(self, operator, features) -> Tensor:
+        if self.config.grad_through_target:
+            return self.target(operator, features)
+        with no_grad():
+            return self.target(operator, features)
+
+    def _forward_unified(self, gviews: BatchedGraphViews,
+                         hviews: BatchedHypergraphViews) -> BatchScores:
+        cfg = self.config
+        h_all = self.online(gviews.operator, Tensor(gviews.features))
+        h_t = h_all[gviews.target_rows]                       # (B, D')
+        h_p = h_all[gviews.patch_rows]                        # (B, D')
+        from ..tensor.sparse import spmm
+        h_s = spmm(gviews.context_pool, h_all)                # (B, D')
+
+        z_all = self._target_forward(hviews.operator, Tensor(hviews.features))
+        z_data = z_all.data if not cfg.grad_through_target else None
+
+        if cfg.grad_through_target:
+            z_t = z_all[hviews.zt_rows]
+            z_p = spmm(hviews.patch_pool, z_all)
+            z_s = spmm(hviews.context_pool, z_all)
+            z_p_arr, z_s_arr = z_p, z_s
+        else:
+            z_t = Tensor(z_all.data[hviews.zt_rows])
+            z_p_np = hviews.patch_pool @ z_data
+            z_s_np = hviews.context_pool @ z_data
+            # Degenerate targets without target edges fall back to the
+            # subgraph-level context for the patch term.
+            empty_patch = np.asarray(hviews.patch_pool.sum(axis=1)).reshape(-1) == 0
+            z_p_np = np.where(empty_patch[:, None], z_s_np, z_p_np)
+            z_p_arr, z_s_arr = Tensor(z_p_np), Tensor(z_s_np)
+
+        node_scores = discriminate(h_t, z_p_arr, z_s_arr, cfg.alpha, cfg.beta)
+
+        if len(hviews.zt_rows):
+            edge_scores = discriminate(
+                z_t,
+                h_p[hviews.edge_owner],
+                h_s[hviews.edge_owner],
+                cfg.alpha, cfg.beta,
+            )
+        else:
+            edge_scores = None
+
+        return BatchScores(
+            node_scores=node_scores,
+            edge_scores=edge_scores,
+            edge_owner=hviews.edge_owner,
+            edge_orig_ids=hviews.edge_orig_ids,
+            node_valid=hviews.has_edges.copy(),
+        )
+
+    def _forward_node_only(self, gviews: BatchedGraphViews,
+                           rng: np.random.Generator) -> BatchScores:
+        """w/o HGNN ablation: both branches are graph encoders."""
+        cfg = self.config
+        from ..tensor.sparse import spmm
+        h_all = self.online(gviews.operator, Tensor(gviews.features))
+        h_t = h_all[gviews.target_rows]
+
+        augmented = mask_features(gviews.features, cfg.feature_mask_prob, rng)
+        z_all = self._target_forward(gviews.operator, Tensor(augmented))
+        z_data = z_all.data
+        h_p_ctx = Tensor(z_data[gviews.patch_rows])
+        h_s_ctx = Tensor(gviews.context_pool @ z_data)
+
+        node_scores = discriminate(h_t, h_p_ctx, h_s_ctx, cfg.alpha, cfg.beta)
+        return BatchScores(
+            node_scores=node_scores,
+            edge_scores=None,
+            edge_owner=np.zeros(0, dtype=np.int64),
+            edge_orig_ids=np.zeros(0, dtype=np.int64),
+            node_valid=np.ones(gviews.batch_size, dtype=bool),
+        )
+
+    def _forward_edge_only(self, hviews: BatchedHypergraphViews) -> BatchScores:
+        """w/o GNN ablation: both branches are hypergraph encoders."""
+        cfg = self.config
+        if len(hviews.zt_rows) == 0:
+            return BatchScores(None, None, hviews.edge_owner,
+                               hviews.edge_orig_ids,
+                               np.zeros(len(hviews.has_edges), dtype=bool))
+        z_online = self.online(hviews.operator, Tensor(hviews.features))
+        z_t = z_online[hviews.zt_rows]
+
+        z_ctx = self._target_forward(hviews.operator, Tensor(hviews.features))
+        z_data = z_ctx.data
+        patch_ctx = Tensor(z_data[hviews.edge_patch_rows])
+        subgraph_ctx_all = hviews.context_pool @ z_data
+        subgraph_ctx = Tensor(subgraph_ctx_all[hviews.edge_owner])
+
+        edge_scores = discriminate(z_t, patch_ctx, subgraph_ctx,
+                                   cfg.alpha, cfg.beta)
+        return BatchScores(
+            node_scores=None,
+            edge_scores=edge_scores,
+            edge_owner=hviews.edge_owner,
+            edge_orig_ids=hviews.edge_orig_ids,
+            node_valid=hviews.has_edges.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Loss (Eq. 15, 19, 20)
+    # ------------------------------------------------------------------
+    def loss(self, scores: BatchScores) -> Tensor:
+        """Combined objective ``L = ½(L_node + L_edge)``.
+
+        ``L_edge`` averages per-target means so high-degree targets do
+        not dominate (Eq. 19).  In ablation modes only the defined term
+        is used.
+        """
+        terms: List[Tensor] = []
+        if scores.node_scores is not None:
+            terms.append(scores.node_scores.mean())
+        if scores.edge_scores is not None and len(scores.edge_owner):
+            owners = scores.edge_owner
+            unique_owners, counts = np.unique(owners, return_counts=True)
+            count_per_edge = counts[np.searchsorted(unique_owners, owners)]
+            weights = 1.0 / (count_per_edge * len(unique_owners))
+            terms.append((scores.edge_scores * Tensor(weights)).sum())
+        if not terms:
+            raise RuntimeError("batch produced no loss terms (all targets degenerate)")
+        if len(terms) == 1:
+            return terms[0]
+        return (terms[0] + terms[1]) * 0.5
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing
+    # ------------------------------------------------------------------
+    def trainable_parameters(self) -> list:
+        """Parameters the optimizer updates (online network; plus target
+        when ``grad_through_target`` is enabled)."""
+        params = self.online.parameters()
+        if self.config.grad_through_target:
+            params = params + self.target.parameters()
+        return params
+
+    def update_target(self) -> None:
+        """EMA step φ ← τφ + (1−τ)θ (Eq. 22), skipped when gradients
+        already flow through the target."""
+        if not self.config.grad_through_target:
+            self.ema.update()
+
+    def eval_mode(self) -> None:
+        self.online.eval()
+        self.target.eval()
+
+    def train_mode(self) -> None:
+        self.online.train()
+        self.target.train()

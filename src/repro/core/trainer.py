@@ -1,0 +1,92 @@
+"""Training loop for BOURNE (Algorithm 1, training stage)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..optim.adam import Adam
+from ..utils.logging import get_logger
+from ..utils.seed import rng_from_seed
+from .config import BourneConfig
+from .model import Bourne
+
+LOGGER = get_logger("repro.core.trainer")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss trace."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.losses[-1] if self.losses else None
+
+
+class BourneTrainer:
+    """Minibatch trainer: Adam on θ, EMA on φ."""
+
+    def __init__(self, model: Bourne, config: Optional[BourneConfig] = None):
+        self.model = model
+        self.config = config or model.config
+        self.optimizer = Adam(
+            model.trainable_parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self._epoch_rng = rng_from_seed(self.config.seed + 7)
+
+    def train_step(self, graph: Graph, targets: np.ndarray) -> float:
+        """One optimization step over a batch of target nodes."""
+        model = self.model
+        gviews, hviews = model.prepare_batch(graph, targets, augment=True)
+        scores = model.forward_batch(gviews, hviews)
+        loss = model.loss(scores)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        model.update_target()
+        return float(loss.item())
+
+    def fit(self, graph: Graph, epochs: Optional[int] = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Train for ``epochs`` (default from config); returns the history.
+
+        Each epoch covers every node (or a ``targets_per_epoch``
+        subsample) in random order, split into ``batch_size`` batches.
+        """
+        cfg = self.config
+        epochs = epochs if epochs is not None else cfg.epochs
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            order = self._epoch_rng.permutation(graph.num_nodes)
+            if cfg.targets_per_epoch is not None:
+                order = order[: cfg.targets_per_epoch]
+            epoch_losses = []
+            for start in range(0, len(order), cfg.batch_size):
+                batch = order[start:start + cfg.batch_size]
+                epoch_losses.append(self.train_step(graph, batch))
+            mean_loss = float(np.mean(epoch_losses))
+            history.losses.append(mean_loss)
+            if verbose:
+                LOGGER.info("epoch %d/%d loss %.4f", epoch + 1, epochs, mean_loss)
+        return history
+
+
+def train_bourne(graph: Graph, config: Optional[BourneConfig] = None,
+                 epochs: Optional[int] = None,
+                 verbose: bool = False) -> tuple:
+    """Convenience: build a model for ``graph``, train it, return both.
+
+    Returns ``(model, history)``.
+    """
+    config = config or BourneConfig()
+    model = Bourne(graph.num_features, config)
+    trainer = BourneTrainer(model, config)
+    history = trainer.fit(graph, epochs=epochs, verbose=verbose)
+    return model, history

@@ -1,0 +1,50 @@
+"""Ablation variants of BOURNE (Figure 5 and Appendix B).
+
+Factory helpers returning configs for:
+
+* ``w/o PL``  — no patch-level discrimination (α = 0, β = 1)
+* ``w/o SL``  — no subgraph-level discrimination (α = 1, β = 0)
+* ``w/o HGNN`` — node-only model, both branches GCN
+* ``w/o GNN``  — edge-only model, both branches HGNN
+* ``w/o perturbation`` — no Γ1/Γ2 augmentation (Appendix B)
+"""
+
+from __future__ import annotations
+
+from .config import BourneConfig
+
+
+def without_patch_level(base: BourneConfig) -> BourneConfig:
+    """Disable patch-level discrimination (α=0, β=1)."""
+    return base.updated(alpha=0.0, beta=1.0)
+
+
+def without_subgraph_level(base: BourneConfig) -> BourneConfig:
+    """Disable subgraph-level discrimination (α=1, β=0)."""
+    return base.updated(alpha=1.0, beta=0.0)
+
+
+def without_hgnn(base: BourneConfig) -> BourneConfig:
+    """Replace the HGNN branch with a GCN branch; node task only."""
+    return base.updated(mode="node_only")
+
+
+def without_gnn(base: BourneConfig) -> BourneConfig:
+    """Replace the GCN branch with an HGNN branch; edge task only."""
+    return base.updated(mode="edge_only")
+
+
+def without_perturbation(base: BourneConfig) -> BourneConfig:
+    """Disable both augmentations (Appendix B shows this collapses AUC)."""
+    return base.updated(feature_mask_prob=0.0, incidence_drop_prob=0.0,
+                        augment_at_inference=False)
+
+
+ABLATIONS = {
+    "full": lambda cfg: cfg,
+    "w/o PL": without_patch_level,
+    "w/o SL": without_subgraph_level,
+    "w/o HGNN": without_hgnn,
+    "w/o GNN": without_gnn,
+    "w/o perturbation": without_perturbation,
+}

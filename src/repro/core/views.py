@@ -1,0 +1,301 @@
+"""View construction: anonymized graph views and augmented dual-hypergraph views.
+
+Implements Section IV-A to IV-C preprocessing:
+
+* graph view  ``Ĝ_t = {X̂_t, Â_t}`` — target-node anonymization (Eq. 1–2),
+* hypergraph view ``Ĝ*_t = {X̂*_t, M̂*_t}`` — dual transformation,
+  Γ1/Γ2 augmentation, and target-edge anonymization (Eq. 7–8),
+
+plus batched containers that stitch the per-target views of a minibatch
+into one block-diagonal operator so each training step costs two sparse
+matmuls instead of ``2B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.dual import edge_features
+from ..graph.sampling import SampledSubgraph
+
+
+@dataclass
+class GraphView:
+    """Anonymized graph view of one target node.
+
+    Row layout (``Ns`` slots + 1): row 0 is the anonymized target
+    (features zeroed, edges kept), rows ``1..Ns-1`` the context slots,
+    row ``Ns`` the isolated raw-feature copy of the target.
+
+    Operators are small dense arrays (views have ≤ K+2 rows); they are
+    stitched into one sparse block-diagonal system at batch time.
+    """
+
+    features: np.ndarray        # (Ns+1, D)
+    operator: np.ndarray        # (Ns+1, Ns+1) normalized propagation
+    patch_row: int              # row of h_p (aggregated target position)
+    target_row: int             # row of h_t (isolated raw copy)
+    num_context_rows: int       # rows participating in the readout h_s
+
+
+@dataclass
+class HypergraphView:
+    """Anonymized + augmented dual-hypergraph view of one target's edges.
+
+    Row layout (``Ms`` dual nodes + ``Mtar``): rows ``0..Mtar-1`` are the
+    anonymized target edges, rows ``Mtar..Ms-1`` the context edges, rows
+    ``Ms..Ms+Mtar-1`` the isolated raw-feature copies of the target
+    edges.
+    """
+
+    features: np.ndarray        # (Ms+Mtar, D)
+    operator: np.ndarray        # normalized HGNN propagation (dense)
+    num_target_edges: int       # Mtar
+    num_context_rows: int       # Ms (rows pooled into z_s)
+    edge_orig_ids: np.ndarray   # (Mtar,) parent-graph edge ids
+
+
+def _inverse_power(values: np.ndarray, exponent: float) -> np.ndarray:
+    """``values**exponent`` with zeros mapped to zero (no warnings)."""
+    out = np.zeros_like(values)
+    positive = values > 0
+    out[positive] = values[positive] ** exponent
+    return out
+
+
+def _dense_gcn_operator(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric GCN normalization of a small dense adjacency (Eq. 4)."""
+    a_tilde = adjacency + np.eye(adjacency.shape[0])
+    inv_sqrt = _inverse_power(a_tilde.sum(axis=1), -0.5)
+    return a_tilde * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def _dense_hgnn_operator(incidence: np.ndarray) -> np.ndarray:
+    """HGNN propagation of a small dense incidence matrix (Eq. 10)."""
+    dv = _inverse_power(incidence.sum(axis=1), -0.5)
+    de = _inverse_power(incidence.sum(axis=0), -1.0)
+    scaled = incidence * dv[:, None]
+    return (scaled * de[None, :]) @ scaled.T
+
+
+def build_graph_view(sub: SampledSubgraph) -> GraphView:
+    """Anonymize the target node (Eq. 1) and extend the adjacency (Eq. 2)."""
+    ns = sub.num_nodes
+    dim = sub.features.shape[1]
+
+    features = np.zeros((ns + 1, dim))
+    features[1:ns] = sub.features[1:]
+    features[ns] = sub.features[0]          # raw copy of the target
+
+    adjacency = np.zeros((ns + 1, ns + 1))
+    if len(sub.edges):
+        adjacency[sub.edges[:, 0], sub.edges[:, 1]] = 1.0
+        adjacency[sub.edges[:, 1], sub.edges[:, 0]] = 1.0
+    adjacency[ns, ns] = 1.0                 # isolated self-loop of Eq. 2
+    operator = _dense_gcn_operator(adjacency)
+
+    return GraphView(
+        features=features,
+        operator=operator,
+        patch_row=0,
+        target_row=ns,
+        num_context_rows=ns,
+    )
+
+
+def mask_features(features: np.ndarray, prob: float,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Γ1 — zero random feature dimensions with probability ``prob``."""
+    if prob <= 0.0:
+        return features
+    mask = rng.random(features.shape[1]) >= prob
+    return features * mask[None, :]
+
+
+def perturb_incidence(incidence, prob: float,
+                      rng: np.random.Generator):
+    """Γ2 — kick nodes out of hyperedges i.i.d. Bernoulli(``prob``).
+
+    Only incidence entries are dropped; the dual-node count is unchanged
+    (Section IV-A: hyperedge perturbation keeps the node set constant).
+    Zero-degree rows created by the drop are handled by the operator
+    normalization.  Accepts dense arrays or scipy sparse matrices.
+    """
+    if sp.issparse(incidence):
+        if prob <= 0.0 or incidence.nnz == 0:
+            return incidence
+        result = incidence.tocoo()
+        keep = rng.random(result.nnz) >= prob
+        return sp.csr_matrix(
+            (result.data[keep], (result.row[keep], result.col[keep])),
+            shape=incidence.shape,
+        )
+    if prob <= 0.0:
+        return incidence
+    mask = rng.random(incidence.shape) >= prob
+    return incidence * mask
+
+
+def build_hypergraph_view(
+    sub: SampledSubgraph,
+    rng: np.random.Generator,
+    feature_mask_prob: float = 0.2,
+    incidence_drop_prob: float = 0.2,
+    augment: bool = True,
+) -> Optional[HypergraphView]:
+    """Dual-transform, augment (Γ2∘Γ1), and anonymize target edges.
+
+    Returns ``None`` when the subgraph has no edges at all (isolated
+    target) — the caller substitutes a zero context, which maximizes the
+    disagreement score for such degenerate nodes.
+    """
+    ms = sub.num_edges
+    if ms == 0:
+        return None
+    mtar = sub.num_target_edges
+    ns = sub.num_nodes
+    dim = sub.features.shape[1]
+
+    dual_features = edge_features(sub.features, sub.edges)       # (Ms, D)
+    incidence = np.zeros((ms, ns))                               # M* = Mᵀ
+    edge_ids = np.arange(ms)
+    incidence[edge_ids, sub.edges[:, 0]] = 1.0
+    incidence[edge_ids, sub.edges[:, 1]] = 1.0
+
+    if augment:
+        dual_features = mask_features(dual_features, feature_mask_prob, rng)
+        incidence = perturb_incidence(incidence, incidence_drop_prob, rng)
+
+    # Eq. 7: zero the target-edge rows, append their raw features.
+    features = np.zeros((ms + mtar, dim))
+    features[mtar:ms] = dual_features[mtar:]
+    features[ms:] = dual_features[:mtar]
+
+    # Eq. 8: extend the incidence with an identity block for the copies.
+    extended = np.zeros((ms + mtar, ns + mtar))
+    extended[:ms, :ns] = incidence
+    if mtar > 0:
+        extended[ms:, ns:] = np.eye(mtar)
+    operator = _dense_hgnn_operator(extended)
+
+    return HypergraphView(
+        features=features,
+        operator=operator,
+        num_target_edges=mtar,
+        num_context_rows=ms,
+        edge_orig_ids=sub.target_edge_orig_ids.copy(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Batched containers
+# ----------------------------------------------------------------------
+@dataclass
+class BatchedGraphViews:
+    """A minibatch of graph views under one block-diagonal operator."""
+
+    features: np.ndarray        # (Σ rows, D)
+    operator: sp.csr_matrix
+    patch_rows: np.ndarray      # (B,)
+    target_rows: np.ndarray     # (B,)
+    context_pool: sp.csr_matrix  # (B, Σ rows) mean-readout operator
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.patch_rows)
+
+
+@dataclass
+class BatchedHypergraphViews:
+    """A minibatch of hypergraph views under one block-diagonal operator."""
+
+    features: np.ndarray
+    operator: sp.csr_matrix
+    zt_rows: np.ndarray          # (Σ Mtar,) isolated target-edge rows
+    edge_owner: np.ndarray       # (Σ Mtar,) batch index of each target edge
+    edge_orig_ids: np.ndarray    # (Σ Mtar,)
+    edge_patch_rows: np.ndarray  # (Σ Mtar,) anonymized (context-aggregated) rows
+    patch_pool: sp.csr_matrix    # (B, Σ rows) mean over anonymized target-edge rows
+    context_pool: sp.csr_matrix  # (B, Σ rows) mean over all context rows (z_s)
+    has_edges: np.ndarray        # (B,) bool — False for degenerate targets
+
+
+def batch_graph_views(views: Sequence[GraphView]) -> BatchedGraphViews:
+    """Stack graph views into one block-diagonal system."""
+    offsets = np.cumsum([0] + [v.features.shape[0] for v in views])
+    features = np.vstack([v.features for v in views])
+    operator = sp.block_diag([v.operator for v in views], format="csr")
+    patch_rows = np.array([v.patch_row + off for v, off in zip(views, offsets)],
+                          dtype=np.int64)
+    target_rows = np.array([v.target_row + off for v, off in zip(views, offsets)],
+                           dtype=np.int64)
+    rows, cols, vals = [], [], []
+    for b, (view, off) in enumerate(zip(views, offsets)):
+        n = view.num_context_rows
+        rows.extend([b] * n)
+        cols.extend(range(off, off + n))
+        vals.extend([1.0 / n] * n)
+    context_pool = sp.csr_matrix((vals, (rows, cols)),
+                                 shape=(len(views), features.shape[0]))
+    return BatchedGraphViews(features, operator, patch_rows, target_rows,
+                             context_pool)
+
+
+def batch_hypergraph_views(
+    views: Sequence[Optional[HypergraphView]],
+    feature_dim: int,
+) -> BatchedHypergraphViews:
+    """Stack hypergraph views; ``None`` entries become zero-row placeholders."""
+    batch = len(views)
+    blocks, sizes = [], []
+    for view in views:
+        if view is None:
+            sizes.append(1)  # single zero placeholder row
+            blocks.append(sp.csr_matrix((1, 1)))
+        else:
+            sizes.append(view.features.shape[0])
+            blocks.append(view.operator)
+    offsets = np.cumsum([0] + sizes)
+    features = np.zeros((offsets[-1], feature_dim))
+    zt_rows, owners, orig_ids = [], [], []
+    p_rows, p_cols, p_vals = [], [], []
+    c_rows, c_cols, c_vals = [], [], []
+    has_edges = np.zeros(batch, dtype=bool)
+    for b, (view, off) in enumerate(zip(views, offsets)):
+        if view is None:
+            continue
+        has_edges[b] = True
+        rows_here = view.features.shape[0]
+        features[off:off + rows_here] = view.features
+        ms = view.num_context_rows
+        mtar = view.num_target_edges
+        for t in range(mtar):
+            zt_rows.append(off + ms + t)
+            owners.append(b)
+            orig_ids.append(int(view.edge_orig_ids[t]))
+            p_rows.append(b)
+            p_cols.append(off + t)          # anonymized target-edge rows → Z_p
+            p_vals.append(1.0 / mtar)
+        for r in range(ms):
+            c_rows.append(b)
+            c_cols.append(off + r)
+            c_vals.append(1.0 / ms)
+    operator = sp.block_diag(blocks, format="csr")
+    total = features.shape[0]
+    patch_pool = sp.csr_matrix((p_vals, (p_rows, p_cols)), shape=(batch, total))
+    context_pool = sp.csr_matrix((c_vals, (c_rows, c_cols)), shape=(batch, total))
+    return BatchedHypergraphViews(
+        features=features,
+        operator=operator,
+        zt_rows=np.asarray(zt_rows, dtype=np.int64),
+        edge_owner=np.asarray(owners, dtype=np.int64),
+        edge_orig_ids=np.asarray(orig_ids, dtype=np.int64),
+        edge_patch_rows=np.asarray(p_cols, dtype=np.int64),
+        patch_pool=patch_pool,
+        context_pool=context_pool,
+        has_edges=has_edges,
+    )

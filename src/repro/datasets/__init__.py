@@ -1,0 +1,20 @@
+"""Synthetic stand-ins for the paper's six benchmark datasets."""
+
+from .base import PAPER_ANOMALY_COUNTS, PAPER_SPECS, DatasetSpec, get_spec
+from .registry import (
+    available_datasets,
+    dataset_statistics,
+    load_benchmark,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_SPECS",
+    "PAPER_ANOMALY_COUNTS",
+    "get_spec",
+    "available_datasets",
+    "load_dataset",
+    "load_benchmark",
+    "dataset_statistics",
+]

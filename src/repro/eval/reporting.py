@@ -1,0 +1,57 @@
+"""ASCII / CSV rendering of experiment results.
+
+Every experiment runner returns plain dict/list structures; this module
+turns them into the printed tables and figure series that stand in for
+the paper's artifacts, and persists CSV copies under ``results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None, precision: int = 4) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Persist rows as CSV, creating parent directories."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def results_dir() -> str:
+    """Directory where experiment CSVs are written (env-overridable)."""
+    return os.environ.get("REPRO_RESULTS_DIR", os.path.join(os.getcwd(), "results"))
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, precision: int = 4) -> str:
+    """One figure series as aligned x/y rows."""
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        x_txt = f"{x:.{precision}f}" if isinstance(x, float) else str(x)
+        lines.append(f"  {x_txt}\t{y:.{precision}f}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Graph and hypergraph substrate."""
+
+from .dual import dual_hypergraph, edge_features, incidence_from_edges
+from .graph import Graph, canonical_edges
+from .hypergraph import Hypergraph
+from .normalize import gcn_operator, hgnn_operator, row_normalize
+from .sampling import (
+    SampledSubgraph,
+    khop_neighbors,
+    random_walk_subgraph,
+    sample_enclosing_subgraph,
+)
+
+__all__ = [
+    "Graph",
+    "Hypergraph",
+    "canonical_edges",
+    "dual_hypergraph",
+    "edge_features",
+    "incidence_from_edges",
+    "gcn_operator",
+    "hgnn_operator",
+    "row_normalize",
+    "SampledSubgraph",
+    "khop_neighbors",
+    "random_walk_subgraph",
+    "sample_enclosing_subgraph",
+]

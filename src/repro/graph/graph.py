@@ -1,0 +1,234 @@
+"""Attributed-graph data structure (Definition 1 of the paper).
+
+A :class:`Graph` stores an undirected attributed graph as a canonical
+edge list (each edge stored once with ``u < v``), node features, and
+optional node/edge anomaly labels.  Derived representations — CSR
+adjacency, node-edge incidence, adjacency lists — are computed lazily
+and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..utils.validation import check_edge_array
+
+
+def canonical_edges(edges: np.ndarray) -> np.ndarray:
+    """Sort endpoints within rows, drop duplicates, sort lexicographically."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        return edges.reshape(0, 2)
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    stacked = np.stack([lo, hi], axis=1)
+    return np.unique(stacked, axis=0)
+
+
+class Graph:
+    """Undirected attributed graph ``G = {X, A}`` with anomaly labels.
+
+    Parameters
+    ----------
+    features:
+        Node feature matrix ``X`` of shape ``(N, D)``.
+    edges:
+        Edge array of shape ``(M, 2)``; canonicalized on construction.
+    node_labels, edge_labels:
+        Optional binary anomaly indicators ``y_n`` (length ``N``) and
+        ``y_e`` (length ``M``, aligned with the canonical edge order).
+    name:
+        Human-readable dataset name.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        edges: np.ndarray,
+        node_labels: Optional[np.ndarray] = None,
+        edge_labels: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ):
+        self.features = np.asarray(features, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {self.features.shape}")
+        raw = check_edge_array(np.asarray(edges), self.num_nodes)
+        if raw.size == 0:
+            self.edges = raw.reshape(0, 2)
+        else:
+            lo = np.minimum(raw[:, 0], raw[:, 1])
+            hi = np.maximum(raw[:, 0], raw[:, 1])
+            stacked = np.stack([lo, hi], axis=1)
+            unique, first_index = np.unique(stacked, axis=0, return_index=True)
+            if edge_labels is not None:
+                if len(unique) != len(raw):
+                    raise ValueError("duplicate edges are incompatible with edge_labels")
+                # Permute labels into the canonical (lexicographic) order.
+                edge_labels = np.asarray(edge_labels)[first_index]
+            self.edges = unique
+        self.name = name
+
+        self.node_labels = self._check_labels(node_labels, self.num_nodes, "node_labels")
+        self.edge_labels = self._check_labels(edge_labels, self.num_edges, "edge_labels")
+
+        self._adjacency: Optional[sp.csr_matrix] = None
+        self._incidence: Optional[sp.csr_matrix] = None
+        self._neighbors: Optional[list] = None
+        self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
+
+    @staticmethod
+    def _check_labels(labels, expected: int, name: str) -> np.ndarray:
+        if labels is None:
+            return np.zeros(expected, dtype=np.int64)
+        labels = np.asarray(labels).astype(np.int64)
+        if labels.shape != (expected,):
+            raise ValueError(f"{name} must have shape ({expected},), got {labels.shape}")
+        if not np.isin(labels, (0, 1)).all():
+            raise ValueError(f"{name} must be binary")
+        return labels
+
+    # ------------------------------------------------------------------
+    # Basic counts
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.edges.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    def __repr__(self) -> str:
+        return (f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges}, features={self.num_features}, "
+                f"node_anomalies={int(self.node_labels.sum())}, "
+                f"edge_anomalies={int(self.edge_labels.sum())})")
+
+    # ------------------------------------------------------------------
+    # Derived representations (lazy)
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        """Symmetric binary adjacency matrix ``A`` in CSR format."""
+        if self._adjacency is None:
+            n, edges = self.num_nodes, self.edges
+            if self.num_edges == 0:
+                self._adjacency = sp.csr_matrix((n, n))
+            else:
+                rows = np.concatenate([edges[:, 0], edges[:, 1]])
+                cols = np.concatenate([edges[:, 1], edges[:, 0]])
+                data = np.ones(rows.shape[0])
+                self._adjacency = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+                self._adjacency.data[:] = 1.0
+        return self._adjacency
+
+    @property
+    def incidence(self) -> sp.csr_matrix:
+        """Node-edge incidence matrix ``M ∈ R^{N×M}``.
+
+        ``M[i, t] = 1`` iff node ``i`` is an endpoint of edge ``e_t``.
+        """
+        if self._incidence is None:
+            if self.num_edges == 0:
+                self._incidence = sp.csr_matrix((self.num_nodes, 0))
+            else:
+                edge_ids = np.arange(self.num_edges)
+                rows = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+                cols = np.concatenate([edge_ids, edge_ids])
+                data = np.ones(rows.shape[0])
+                self._incidence = sp.csr_matrix(
+                    (data, (rows, cols)), shape=(self.num_nodes, self.num_edges)
+                )
+        return self._incidence
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Node degrees as an integer vector."""
+        return np.asarray(self.adjacency.sum(axis=1)).reshape(-1).astype(np.int64)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """1-hop neighbours ``N(v)`` of ``node`` as a sorted array."""
+        if self._neighbors is None:
+            adjacency = self.adjacency
+            self._neighbors = [
+                adjacency.indices[adjacency.indptr[i]:adjacency.indptr[i + 1]]
+                for i in range(self.num_nodes)
+            ]
+        return self._neighbors[node]
+
+    # ------------------------------------------------------------------
+    # Edge lookup
+    # ------------------------------------------------------------------
+    def _build_edge_index(self) -> Dict[Tuple[int, int], int]:
+        if self._edge_index is None:
+            self._edge_index = {
+                (int(u), int(v)): t for t, (u, v) in enumerate(self.edges)
+            }
+        return self._edge_index
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Return the canonical edge id of ``(u, v)``; raise if absent."""
+        key = (min(u, v), max(u, v))
+        index = self._build_edge_index()
+        if key not in index:
+            raise KeyError(f"edge {key} not in graph")
+        return index[key]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` is an edge."""
+        key = (min(u, v), max(u, v))
+        return key in self._build_edge_index()
+
+    def incident_edge_ids(self, node: int) -> np.ndarray:
+        """Edge ids of all edges incident to ``node``."""
+        incidence = self.incidence.tocsc() if False else self.incidence
+        row = incidence.getrow(node)
+        return row.indices.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def with_updates(
+        self,
+        features: Optional[np.ndarray] = None,
+        extra_edges: Optional[np.ndarray] = None,
+        node_labels: Optional[np.ndarray] = None,
+        edge_labels_for_new: int = 0,
+        name: Optional[str] = None,
+    ) -> "Graph":
+        """Return a new graph with modified features and/or added edges.
+
+        Existing edge labels are carried over by edge identity; newly
+        added edges receive ``edge_labels_for_new``.
+        """
+        new_features = self.features if features is None else np.asarray(features, dtype=np.float64)
+        new_node_labels = self.node_labels if node_labels is None else node_labels
+        if extra_edges is None or len(extra_edges) == 0:
+            graph = Graph(new_features, self.edges, new_node_labels,
+                          self.edge_labels, name=name or self.name)
+            return graph
+        extra = canonical_edges(np.asarray(extra_edges))
+        existing = self._build_edge_index()
+        fresh = np.array([e for e in extra if (int(e[0]), int(e[1])) not in existing],
+                         dtype=np.int64).reshape(-1, 2)
+        combined = np.concatenate([self.edges, fresh], axis=0)
+        order = np.lexsort((combined[:, 1], combined[:, 0]))
+        labels = np.concatenate([
+            self.edge_labels,
+            np.full(len(fresh), edge_labels_for_new, dtype=np.int64),
+        ])[order]
+        graph = Graph(new_features, combined[order], new_node_labels, labels,
+                      name=name or self.name)
+        return graph
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph."""
+        return Graph(self.features.copy(), self.edges.copy(),
+                     self.node_labels.copy(), self.edge_labels.copy(), name=self.name)

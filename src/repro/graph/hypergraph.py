@@ -1,0 +1,64 @@
+"""Hypergraph data structure.
+
+A hypergraph generalizes a graph: each hyperedge joins an arbitrary set
+of vertices.  Here hypergraphs arise as *duals* of (sub)graphs — see
+:mod:`repro.graph.dual` — where graph edges become hypergraph nodes and
+graph nodes become hyperedges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class Hypergraph:
+    """Attributed hypergraph ``G* = {X*, M*}``.
+
+    Parameters
+    ----------
+    features:
+        Node feature matrix ``X*`` of shape ``(num_nodes, D)``.
+    incidence:
+        Incidence matrix ``M*`` of shape ``(num_nodes, num_hyperedges)``;
+        ``M*[i, j] = 1`` iff node ``i`` belongs to hyperedge ``j``.
+    """
+
+    def __init__(self, features: np.ndarray, incidence):
+        self.features = np.asarray(features, dtype=np.float64)
+        if sp.issparse(incidence):
+            self.incidence = incidence.tocsr().astype(np.float64)
+        else:
+            self.incidence = sp.csr_matrix(np.asarray(incidence, dtype=np.float64))
+        if self.features.shape[0] != self.incidence.shape[0]:
+            raise ValueError(
+                f"feature rows ({self.features.shape[0]}) must equal incidence rows "
+                f"({self.incidence.shape[0]})"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.incidence.shape[0]
+
+    @property
+    def num_hyperedges(self) -> int:
+        return self.incidence.shape[1]
+
+    @property
+    def node_degrees(self) -> np.ndarray:
+        """Number of hyperedges each node participates in."""
+        return np.asarray(self.incidence.sum(axis=1)).reshape(-1)
+
+    @property
+    def hyperedge_degrees(self) -> np.ndarray:
+        """Number of nodes inside each hyperedge."""
+        return np.asarray(self.incidence.sum(axis=0)).reshape(-1)
+
+    def __repr__(self) -> str:
+        return (f"Hypergraph(nodes={self.num_nodes}, "
+                f"hyperedges={self.num_hyperedges})")
+
+    def copy(self) -> "Hypergraph":
+        return Hypergraph(self.features.copy(), self.incidence.copy())

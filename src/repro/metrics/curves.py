@@ -1,0 +1,44 @@
+"""ROC curve computation (Figures 3 and 4)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def roc_curve(labels, scores) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(fpr, tpr, thresholds)``; thresholds descend.
+
+    Points are emitted at every distinct score, prepended with (0, 0).
+    """
+    labels = np.asarray(labels).astype(np.int64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    order = np.argsort(scores)[::-1]
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+
+    positives = labels.sum()
+    negatives = len(labels) - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("roc_curve requires both classes present")
+
+    distinct = np.where(np.diff(sorted_scores))[0]
+    cut = np.concatenate([distinct, [len(labels) - 1]])
+    tp = np.cumsum(sorted_labels)[cut]
+    fp = (cut + 1) - tp
+    tpr = np.concatenate([[0.0], tp / positives])
+    fpr = np.concatenate([[0.0], fp / negatives])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut]])
+    return fpr, tpr, thresholds
+
+
+def downsample_curve(fpr: np.ndarray, tpr: np.ndarray, points: int = 50):
+    """Resample a curve to ``points`` evenly spaced FPR values (reporting)."""
+    grid = np.linspace(0.0, 1.0, points)
+    return grid, np.interp(grid, fpr, tpr)
+
+
+def auc_from_curve(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Trapezoidal area under a (fpr, tpr) curve."""
+    return float(np.trapezoid(tpr, fpr))

@@ -1,0 +1,38 @@
+"""Neural-network layers built on the autodiff substrate."""
+
+from .activations import ELU, LeakyReLU, PReLU, ReLU, Sigmoid, Tanh
+from .attention import GATConv
+from .conv import GCNConv, HGNNConv
+from .dropout import Dropout
+from .linear import MLP, Linear
+from .losses import bce_with_logits, cosine_disagreement, mse_loss, reconstruction_errors
+from .module import Module, Parameter, Sequential
+from .readout import get_readout, max_readout, mean_readout, sum_readout
+from .sage import SAGEConv
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "MLP",
+    "GCNConv",
+    "HGNNConv",
+    "GATConv",
+    "SAGEConv",
+    "Dropout",
+    "PReLU",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "ELU",
+    "LeakyReLU",
+    "mean_readout",
+    "sum_readout",
+    "max_readout",
+    "get_readout",
+    "mse_loss",
+    "bce_with_logits",
+    "cosine_disagreement",
+    "reconstruction_errors",
+]

@@ -1,0 +1,53 @@
+"""Activation modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import functional as F
+from ..tensor.autograd import Tensor, as_tensor
+from .module import Module, Parameter
+
+
+class PReLU(Module):
+    """Parametric ReLU with a single learnable slope (paper's choice)."""
+
+    def __init__(self, init_alpha: float = 0.25):
+        super().__init__()
+        self.alpha = Parameter(np.array(init_alpha))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.prelu(x, self.alpha)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).sigmoid()
+
+
+class ELU(Module):
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self._alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.elu(x, alpha=self._alpha)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.2):
+        super().__init__()
+        self._slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, negative_slope=self._slope)

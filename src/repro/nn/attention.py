@@ -1,0 +1,75 @@
+"""Graph attention layer (GAT), used by the AnomalyDAE baseline.
+
+Attention is computed per edge and normalized with a segment softmax
+implemented from autograd primitives: a scatter matrix ``S`` of shape
+``(num_nodes, num_edges)`` with ``S[dst[e], e] = 1`` turns segment sums
+into sparse matmuls, keeping memory linear in the number of edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import functional as F
+from ..tensor.autograd import Tensor
+from ..tensor.sparse import spmm
+from . import init
+from .module import Module, Parameter
+
+
+def _scatter_matrix(dst: np.ndarray, num_nodes: int) -> sp.csr_matrix:
+    num_edges = dst.shape[0]
+    return sp.csr_matrix(
+        (np.ones(num_edges), (dst, np.arange(num_edges))),
+        shape=(num_nodes, num_edges),
+    )
+
+
+class GATConv(Module):
+    """Single-head graph attention layer.
+
+    Self-loops are appended so every node attends at least to itself.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, negative_slope: float = 0.2):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.att_src = Parameter(init.xavier_uniform((out_features,), rng))
+        self.att_dst = Parameter(init.xavier_uniform((out_features,), rng))
+        self._slope = negative_slope
+
+    def forward(self, edge_index: np.ndarray, num_nodes: int, x: Tensor) -> Tensor:
+        """Apply attention.
+
+        Parameters
+        ----------
+        edge_index:
+            Integer array of shape ``(2, E)`` with rows (source, target).
+        num_nodes:
+            Number of nodes ``n`` in the graph.
+        x:
+            Node features ``(n, in_features)``.
+        """
+        src = np.concatenate([edge_index[0], np.arange(num_nodes)])
+        dst = np.concatenate([edge_index[1], np.arange(num_nodes)])
+
+        h = x @ self.weight                                  # (n, out)
+        score_src = (h * self.att_src).sum(axis=1)           # (n,)
+        score_dst = (h * self.att_dst).sum(axis=1)           # (n,)
+        scores = F.leaky_relu(score_src[src] + score_dst[dst], self._slope)
+
+        # Segment softmax over incoming edges of each destination node.
+        scatter = _scatter_matrix(dst, num_nodes)
+        shift = np.full(num_nodes, -np.inf)
+        np.maximum.at(shift, dst, scores.data)
+        shifted = scores - Tensor(shift[dst])
+        exp_scores = shifted.clip(-60.0, 60.0).exp()
+        denom = spmm(scatter, exp_scores) + 1e-16            # (n,)
+        alpha = exp_scores / denom[dst]                      # (E,)
+
+        messages = h[src] * alpha.reshape(-1, 1)             # (E, out)
+        return spmm(scatter, messages)                       # (n, out)

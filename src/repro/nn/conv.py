@@ -1,0 +1,100 @@
+"""Graph convolution layers.
+
+The propagation operator (normalized adjacency) is precomputed by the
+caller — see :mod:`repro.graph.normalize` — and passed per forward call,
+so the same layer weights serve any (sub)graph.  This matches BOURNE's
+batched use where every target node brings its own enclosing subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor.autograd import Tensor
+from ..tensor.sparse import spmm, to_csr
+from . import init
+from .activations import PReLU
+from .module import Module, Parameter
+
+
+class GCNConv(Module):
+    """One GCN layer: ``H' = σ(D̃^{-1/2} Ã D̃^{-1/2} H Θ)`` (Eq. 4).
+
+    The symmetric normalization is baked into the ``operator`` argument.
+    Activation (PReLU per the paper) is applied unless ``activation`` is
+    ``None``.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = False,
+                 activation: Optional[str] = "prelu"):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+        if activation == "prelu":
+            self.act = PReLU()
+        elif activation is None:
+            self.act = None
+        else:
+            raise ValueError(f"unsupported activation {activation!r}")
+
+    def forward(self, operator, x: Tensor) -> Tensor:
+        """Apply the layer.
+
+        Parameters
+        ----------
+        operator:
+            Normalized propagation matrix (scipy sparse or dense),
+            shape ``(n, n)``.
+        x:
+            Node features, shape ``(n, in_features)``.
+        """
+        support = x @ self.weight
+        out = spmm(operator, support)
+        if self.bias is not None:
+            out = out + self.bias
+        if self.act is not None:
+            out = self.act(out)
+        return out
+
+
+class HGNNConv(Module):
+    """One hypergraph convolution layer (Eq. 10).
+
+    ``H' = σ(D_v^{-1/2} M W_e D_e^{-1} Mᵀ D_v^{-1/2} H Φ)`` with identity
+    hyperedge weights.  As with :class:`GCNConv`, the full propagation
+    operator is precomputed (see ``hgnn_operator``) and passed in.
+
+    The layer's parameter layout intentionally matches :class:`GCNConv`
+    (one ``(in, out)`` filter + one PReLU slope) so BOURNE's exponential-
+    moving-average update ``φ ← τφ + (1−τ)θ`` is well defined across the
+    two encoders.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = False,
+                 activation: Optional[str] = "prelu"):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+        if activation == "prelu":
+            self.act = PReLU()
+        elif activation is None:
+            self.act = None
+        else:
+            raise ValueError(f"unsupported activation {activation!r}")
+
+    def forward(self, operator, x: Tensor) -> Tensor:
+        support = x @ self.weight
+        out = spmm(operator, support)
+        if self.bias is not None:
+            out = out + self.bias
+        if self.act is not None:
+            out = self.act(out)
+        return out

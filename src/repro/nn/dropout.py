@@ -1,0 +1,23 @@
+"""Dropout module with explicit RNG for reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import functional as F
+from ..tensor.autograd import Tensor
+from .module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout; inactive in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)

@@ -1,0 +1,64 @@
+"""Affine layers and multilayer perceptrons."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..tensor.autograd import Tensor, as_tensor
+from . import init
+from .activations import PReLU
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` with weights stored (in, out)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        if bias:
+            self.bias = Parameter(init.zeros(out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = as_tensor(x) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Linear(in={self.in_features}, out={self.out_features}, "
+                f"bias={self.bias is not None})")
+
+
+class MLP(Module):
+    """Multilayer perceptron with PReLU activations between layers.
+
+    BOURNE's predictor head ``p_θ`` is a 2-layer MLP (hidden size 512 in
+    the paper); this class also serves the baselines' projection heads.
+    """
+
+    def __init__(self, in_features: int, hidden: Sequence[int], out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        dims = [in_features, *hidden, out_features]
+        self._layers = []
+        for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(d_in, d_out, rng, bias=bias)
+            setattr(self, f"fc{index}", layer)
+            self._layers.append(layer)
+            if index < len(dims) - 2:
+                act = PReLU()
+                setattr(self, f"act{index}", act)
+                self._layers.append(act)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x

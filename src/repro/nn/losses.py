@@ -1,0 +1,32 @@
+"""Loss functions shared by BOURNE and the baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import functional as F
+from ..tensor.autograd import Tensor, as_tensor
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error against a constant target."""
+    return F.mse(prediction, as_tensor(target))
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Binary cross-entropy on logits against constant 0/1 targets."""
+    return F.binary_cross_entropy_with_logits(logits, targets)
+
+
+def cosine_disagreement(a: Tensor, b: Tensor) -> Tensor:
+    """``1 − cos(a, b)`` per row — BOURNE's bootstrapped regression target.
+
+    Minimizing this pulls target-object embeddings toward their
+    (stop-gradient) context embeddings without any negative pairs.
+    """
+    return 1.0 - F.cosine_similarity(a, b, axis=-1)
+
+
+def reconstruction_errors(prediction: Tensor, target) -> Tensor:
+    """Per-row L2 reconstruction error (anomaly evidence)."""
+    return F.frobenius_error_rows(prediction, np.asarray(target))

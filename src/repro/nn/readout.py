@@ -1,0 +1,35 @@
+"""Readout functions pooling node embeddings into a context vector."""
+
+from __future__ import annotations
+
+from ..tensor.autograd import Tensor
+
+
+def mean_readout(h: Tensor) -> Tensor:
+    """Average readout over rows (Eq. 6 / Eq. 11 in the paper)."""
+    return h.mean(axis=0)
+
+
+def sum_readout(h: Tensor) -> Tensor:
+    """Sum readout over rows."""
+    return h.sum(axis=0)
+
+
+def max_readout(h: Tensor) -> Tensor:
+    """Elementwise-max readout over rows."""
+    return h.max(axis=0)
+
+
+READOUTS = {
+    "mean": mean_readout,
+    "sum": sum_readout,
+    "max": max_readout,
+}
+
+
+def get_readout(name: str):
+    """Look up a readout by name."""
+    try:
+        return READOUTS[name]
+    except KeyError:
+        raise ValueError(f"unknown readout {name!r}; choose from {sorted(READOUTS)}")

@@ -1,0 +1,55 @@
+"""GraphSAGE-style mean-aggregation convolution.
+
+The paper notes (Section IV-B) that ``GNN_θ(·) can be set as any
+off-the-shelf graph neural network``; GCN is the default for
+efficiency.  This layer provides the obvious alternative backbone:
+``h'_i = σ(W_self·h_i + W_neigh·mean_{j∈N(i)} h_j)``.
+
+Because its parameter layout differs from :class:`HGNNConv`, the
+SAGE backbone is only valid together with ``grad_through_target`` or a
+SAGE target — :mod:`repro.core.encoders` enforces the pairing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor.autograd import Tensor
+from ..tensor.sparse import spmm
+from . import init
+from .activations import PReLU
+from .module import Module, Parameter
+
+
+class SAGEConv(Module):
+    """Mean-aggregator GraphSAGE layer.
+
+    The ``operator`` argument must be a *row-stochastic* neighbourhood
+    averaging matrix (see :func:`repro.graph.normalize.row_normalize`).
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator,
+                 activation: Optional[str] = "prelu"):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_self = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.weight_neigh = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        if activation == "prelu":
+            self.act = PReLU()
+        elif activation is None:
+            self.act = None
+        else:
+            raise ValueError(f"unsupported activation {activation!r}")
+
+    def forward(self, operator, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        own = x @ self.weight_self
+        aggregated = spmm(operator, x) @ self.weight_neigh
+        out = own + aggregated
+        if self.act is not None:
+            out = self.act(out)
+        return out

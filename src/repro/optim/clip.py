@@ -1,0 +1,26 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Clip gradients in place to a global L2 norm; returns the norm."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for grad in grads:
+        total += float(np.sum(grad * grad))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm

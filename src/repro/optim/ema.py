@@ -1,0 +1,47 @@
+"""Exponential moving average update for bootstrapped target networks.
+
+Implements Eq. 22 of the paper: ``φ ← τ·φ + (1−τ)·θ``.  The online and
+target parameter lists are matched positionally, which requires the two
+networks to expose identically-shaped parameters in the same order —
+exactly the situation for BOURNE's one-layer GCN (online) and one-layer
+HGNN (target), both a ``(D, D')`` filter plus a PReLU slope.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..nn.module import Parameter
+
+
+class ExponentialMovingAverage:
+    """BYOL/BGRL-style target-network updater."""
+
+    def __init__(self, online: Sequence[Parameter], target: Sequence[Parameter],
+                 decay: float = 0.99):
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        online, target = list(online), list(target)
+        if len(online) != len(target):
+            raise ValueError(
+                f"online/target parameter count mismatch: {len(online)} vs {len(target)}"
+            )
+        for i, (o, t) in enumerate(zip(online, target)):
+            if o.data.shape != t.data.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: {o.data.shape} vs {t.data.shape}"
+                )
+        self.online = online
+        self.target = target
+        self.decay = decay
+
+    def initialize(self) -> None:
+        """Hard-copy online parameters into the target network."""
+        for o, t in zip(self.online, self.target):
+            t.data = o.data.copy()
+
+    def update(self) -> None:
+        """Apply one EMA step: ``target ← τ·target + (1−τ)·online``."""
+        tau = self.decay
+        for o, t in zip(self.online, self.target):
+            t.data = tau * t.data + (1.0 - tau) * o.data

@@ -1,0 +1,57 @@
+"""From-scratch reverse-mode autodiff substrate (numpy-backed)."""
+
+from .autograd import (
+    Tensor,
+    as_tensor,
+    concat,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    stack,
+    where,
+    zeros,
+)
+from .functional import (
+    binary_cross_entropy_with_logits,
+    cosine_similarity,
+    dropout,
+    elu,
+    frobenius_error_rows,
+    l2_normalize,
+    leaky_relu,
+    log_softmax,
+    mse,
+    prelu,
+    relu,
+    softmax,
+)
+from .gradcheck import gradcheck, numerical_gradient
+from .sparse import spmm, to_csr
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "zeros",
+    "ones",
+    "no_grad",
+    "is_grad_enabled",
+    "relu",
+    "leaky_relu",
+    "prelu",
+    "elu",
+    "softmax",
+    "log_softmax",
+    "l2_normalize",
+    "cosine_similarity",
+    "dropout",
+    "mse",
+    "binary_cross_entropy_with_logits",
+    "frobenius_error_rows",
+    "spmm",
+    "to_csr",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,125 @@
+"""Functional operations composed on top of the autograd primitives.
+
+These are the building blocks used by :mod:`repro.nn` layers and the
+BOURNE discriminator: activations with learnable slopes, softmax
+families, row normalization, cosine similarity, and dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .autograd import Tensor, as_tensor, is_grad_enabled
+
+EPS = 1e-12
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with a fixed negative slope."""
+    x = as_tensor(x)
+    mask = (x.data > 0).astype(x.data.dtype)
+    scale = Tensor(mask + negative_slope * (1.0 - mask))
+    return x * scale
+
+
+def prelu(x: Tensor, alpha: Tensor) -> Tensor:
+    """Parametric ReLU: ``x if x > 0 else alpha * x``.
+
+    ``alpha`` is a learnable tensor (scalar or per-channel) and receives
+    gradients, matching the PReLU activation the paper adopts for both
+    encoders.
+    """
+    x, alpha = as_tensor(x), as_tensor(alpha)
+    positive = x.relu()
+    negative = alpha * ((-x).relu())
+    return positive - negative
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit (used by the GAT attention encoder)."""
+    x = as_tensor(x)
+    mask = x.data > 0
+    from .autograd import where
+
+    return where(mask, x, (x.clip(-60.0, 60.0).exp() - 1.0) * alpha)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def l2_normalize(x: Tensor, axis: int = -1) -> Tensor:
+    """Normalize rows (or the given axis) to unit L2 norm."""
+    x = as_tensor(x)
+    norm = (x * x).sum(axis=axis, keepdims=True).sqrt() + EPS
+    return x / norm
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Cosine similarity between ``a`` and ``b`` along ``axis``.
+
+    This is the similarity at the heart of BOURNE's discriminator
+    (Eq. 14): ``cos(h, z) = h·z / (|h||z|)``.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    return (l2_normalize(a, axis=axis) * l2_normalize(b, axis=axis)).sum(axis=axis)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero entries with probability ``p`` and rescale."""
+    x = as_tensor(x)
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def mse(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically stable BCE on raw logits against constant targets.
+
+    Uses ``max(x,0) - x*t + log(1 + exp(-|x|))``.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=logits.data.dtype)
+    positive = logits.relu()
+    product = logits * Tensor(targets)
+    softplus = ((-(logits.abs())).exp() + 1.0).log()
+    return (positive - product + softplus).mean()
+
+
+def frobenius_error_rows(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Per-row L2 reconstruction error ``||pred_i - target_i||_2``.
+
+    Used by reconstruction-based detectors (DOMINANT, AnomalyDAE, SL-GAD)
+    to turn a reconstruction into per-node anomaly evidence.
+    """
+    prediction = as_tensor(prediction)
+    diff = prediction - Tensor(np.asarray(target, dtype=prediction.data.dtype))
+    return ((diff * diff).sum(axis=1) + EPS).sqrt()

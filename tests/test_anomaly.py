@@ -1,0 +1,158 @@
+"""Unit + property tests for anomaly injection and C_ano."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomaly import (
+    anomaly_correlation,
+    inject_attributive,
+    inject_benchmark_anomalies,
+    inject_structural,
+    inject_with_correlation,
+)
+from repro.datasets import get_spec, load_dataset
+from repro.graph import Graph
+
+
+@pytest.fixture
+def base_graph():
+    return load_dataset("cora", seed=0, scale=0.08)
+
+
+class TestStructuralInjection:
+    def test_labels_and_edge_counts(self, base_graph, rng):
+        injected = inject_structural(base_graph, rng, clique_size=10, num_cliques=2)
+        assert injected.node_labels.sum() == 20
+        # Every clique member pair must now be connected.
+        anomalous = np.where(injected.node_labels == 1)[0]
+        cliques_found = 0
+        for u in anomalous:
+            neighbors = set(injected.neighbors(int(u)).tolist())
+            cliques_found += len(neighbors & set(anomalous.tolist())) >= 9
+        assert cliques_found == 20
+
+    def test_new_edges_labeled_anomalous(self, base_graph, rng):
+        injected = inject_structural(base_graph, rng, clique_size=8, num_cliques=2)
+        added = injected.num_edges - base_graph.num_edges
+        assert added > 0
+        assert injected.edge_labels.sum() == added
+
+    def test_degrees_increase_for_members(self, base_graph, rng):
+        injected = inject_structural(base_graph, rng, clique_size=10, num_cliques=1)
+        members = np.where(injected.node_labels == 1)[0]
+        assert np.all(injected.degrees[members] >= 9)
+
+    def test_zero_cliques_noop(self, base_graph, rng):
+        injected = inject_structural(base_graph, rng, num_cliques=0)
+        assert injected.num_edges == base_graph.num_edges
+
+    def test_too_many_cliques_rejected(self, rng):
+        g = Graph(np.zeros((10, 2)), np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            inject_structural(g, rng, clique_size=8, num_cliques=2)
+
+    def test_original_untouched(self, base_graph, rng):
+        before = base_graph.num_edges
+        inject_structural(base_graph, rng, clique_size=8, num_cliques=2)
+        assert base_graph.num_edges == before
+        assert base_graph.node_labels.sum() == 0
+
+
+class TestAttributiveInjection:
+    def test_node_labels_and_features_changed(self, base_graph, rng):
+        injected = inject_attributive(base_graph, rng, num_nodes=10, k=20, s=2)
+        changed = np.where(injected.node_labels == 1)[0]
+        assert len(changed) == 10
+        for node in changed:
+            assert not np.array_equal(injected.features[node],
+                                      base_graph.features[node])
+
+    def test_swapped_features_come_from_graph(self, base_graph, rng):
+        injected = inject_attributive(base_graph, rng, num_nodes=5, k=20, s=2)
+        changed = np.where(injected.node_labels == 1)[0]
+        for node in changed:
+            matches = (base_graph.features == injected.features[node]).all(axis=1)
+            assert matches.any()
+
+    def test_edge_anomalies_touch_targets(self, base_graph, rng):
+        injected = inject_attributive(base_graph, rng, num_nodes=8, k=20, s=2)
+        anomalous_edges = injected.edges[injected.edge_labels == 1]
+        targets = set(np.where(injected.node_labels == 1)[0].tolist())
+        for u, v in anomalous_edges:
+            assert u in targets or v in targets
+
+    def test_no_feature_perturbation_option(self, base_graph, rng):
+        injected = inject_attributive(base_graph, rng, num_nodes=8, k=20, s=2,
+                                      perturb_features=False)
+        assert injected.node_labels.sum() == 0
+        assert injected.edge_labels.sum() > 0
+
+    def test_zero_nodes_noop(self, base_graph, rng):
+        injected = inject_attributive(base_graph, rng, num_nodes=0)
+        assert injected.edge_labels.sum() == 0
+
+    def test_k_too_large_rejected(self, rng):
+        g = Graph(np.zeros((10, 2)), np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            inject_attributive(g, rng, num_nodes=2, k=10, s=1)
+
+
+class TestBenchmarkInjection:
+    def test_counts_match_protocol(self, base_graph, rng):
+        spec = get_spec("cora").scaled(0.08)
+        injected = inject_benchmark_anomalies(base_graph, spec, rng)
+        expected_structural = 15 * spec.clique_count
+        # Attributive targets may overlap structural ones, so the node-
+        # anomaly count lies between the structural count and 2x it.
+        assert expected_structural <= injected.node_labels.sum() <= 2 * expected_structural
+        assert injected.edge_labels.sum() > 0
+
+
+class TestCorrelation:
+    def test_no_anomalies_zero(self, base_graph):
+        assert anomaly_correlation(base_graph) == 0.0
+
+    def test_bounds(self, base_graph, rng):
+        injected = inject_attributive(base_graph, rng, num_nodes=10, k=20, s=2)
+        assert 0.0 <= anomaly_correlation(injected) <= 1.0
+
+    def test_perfect_correlation_case(self):
+        # Single anomalous node whose only edge is anomalous: C_ano = 1.
+        g = Graph(np.zeros((3, 2)), np.array([[0, 1], [1, 2]]),
+                  node_labels=np.array([1, 0, 0]),
+                  edge_labels=np.array([1, 0]))
+        assert anomaly_correlation(g) == pytest.approx(1.0)
+
+    def test_zero_correlation_case(self):
+        g = Graph(np.zeros((3, 2)), np.array([[0, 1], [1, 2]]),
+                  node_labels=np.array([1, 0, 0]),
+                  edge_labels=np.array([0, 1]))
+        assert anomaly_correlation(g) == pytest.approx(0.0)
+
+    def test_controlled_injection_monotone(self, base_graph, rng):
+        achieved = []
+        for target in (0.0, 0.5, 1.0):
+            injected = inject_with_correlation(
+                base_graph, np.random.default_rng(5), target,
+                num_node_anomalies=20, num_edge_anomalies=120, k=20,
+            )
+            achieved.append(anomaly_correlation(injected))
+        assert achieved[0] <= achieved[1] <= achieved[2]
+        assert achieved[0] == pytest.approx(0.0, abs=1e-9)
+        assert achieved[2] > 0.15
+
+    def test_controlled_injection_rejects_bad_correlation(self, base_graph, rng):
+        with pytest.raises(ValueError):
+            inject_with_correlation(base_graph, rng, 1.5, 5, 10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_achieved_correlation_always_valid(self, target):
+        graph = load_dataset("cora", seed=0, scale=0.08)
+        injected = inject_with_correlation(
+            graph, np.random.default_rng(7), target,
+            num_node_anomalies=10, num_edge_anomalies=40, k=15,
+        )
+        assert 0.0 <= anomaly_correlation(injected) <= 1.0

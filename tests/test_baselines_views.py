@@ -1,0 +1,46 @@
+"""Tests for the contrastive baselines' RWR view machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.subgraph_views import RWRBatch, build_rwr_batch
+
+
+class TestRWRBatch:
+    def test_shapes(self, tiny_graph, rng):
+        batch = build_rwr_batch(tiny_graph, [0, 3, 6], size=4, rng=rng)
+        assert batch.batch_size == 3
+        assert batch.features.shape == (12, tiny_graph.num_features)
+        assert batch.operator.shape == (12, 12)
+        assert batch.pool.shape == (3, 12)
+        assert batch.target_features.shape == (3, tiny_graph.num_features)
+
+    def test_target_slot_anonymized(self, tiny_graph, rng):
+        batch = build_rwr_batch(tiny_graph, [2], size=4, rng=rng)
+        np.testing.assert_array_equal(batch.features[0], 0.0)
+
+    def test_target_features_raw(self, tiny_graph, rng):
+        batch = build_rwr_batch(tiny_graph, [2, 5], size=4, rng=rng)
+        np.testing.assert_array_equal(batch.target_features[0],
+                                      tiny_graph.features[2])
+        np.testing.assert_array_equal(batch.target_features[1],
+                                      tiny_graph.features[5])
+
+    def test_pool_rows_average(self, tiny_graph, rng):
+        batch = build_rwr_batch(tiny_graph, [0, 1], size=5, rng=rng)
+        sums = np.asarray(batch.pool.sum(axis=1)).reshape(-1)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_operator_block_diagonal(self, tiny_graph, rng):
+        batch = build_rwr_batch(tiny_graph, [0, 3], size=4, rng=rng)
+        dense = batch.operator.toarray()
+        # No coupling between the two subgraph blocks.
+        assert np.all(dense[:4, 4:] == 0)
+        assert np.all(dense[4:, :4] == 0)
+
+    def test_isolated_target_still_batches(self, rng):
+        from repro.graph import Graph
+        g = Graph(rng.normal(size=(3, 2)), np.array([[1, 2]]))
+        batch = build_rwr_batch(g, [0], size=3, rng=rng)
+        assert batch.batch_size == 1
+        assert np.all(np.isfinite(batch.features))

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasetsCommand:
+    def test_lists_all_six(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cora", "pubmed", "acm", "blogcatalog", "flickr", "dgraph"):
+            assert name in out
+
+
+class TestTrainCommand:
+    def test_train_reports_aucs(self, capsys, tmp_path):
+        code = main([
+            "train", "--dataset", "cora", "--scale", "0.08",
+            "--epochs", "2", "--hidden", "16", "--subgraph-size", "4",
+            "--rounds", "2",
+            "--save", str(tmp_path / "model.npz"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node AUC" in out and "edge AUC" in out
+        assert (tmp_path / "model.npz").exists()
+
+
+class TestScoreCommand:
+    def test_roundtrip_train_then_score(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "model.npz")
+        main(["train", "--dataset", "cora", "--scale", "0.08",
+              "--epochs", "1", "--hidden", "16", "--subgraph-size", "4",
+              "--rounds", "1", "--save", checkpoint])
+        capsys.readouterr()
+        out_prefix = str(tmp_path / "scores")
+        code = main(["score", "--dataset", "cora", "--scale", "0.08",
+                     "--model", checkpoint, "--rounds", "1",
+                     "--out", out_prefix])
+        assert code == 0
+        assert os.path.exists(out_prefix + ".nodes.csv")
+        assert os.path.exists(out_prefix + ".edges.csv")
+        with open(out_prefix + ".nodes.csv") as handle:
+            header = handle.readline().strip()
+        assert header == "node,score,label"
+
+    def test_feature_mismatch_rejected(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "model.npz")
+        main(["train", "--dataset", "cora", "--scale", "0.08",
+              "--epochs", "1", "--hidden", "16", "--subgraph-size", "4",
+              "--rounds", "1", "--save", checkpoint])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["score", "--dataset", "cora", "--scale", "0.12",
+                  "--model", checkpoint])
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+    def test_table2_quick(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        code = main(["experiment", "table2", "--profile", "quick"])
+        assert code == 0
+        assert "table2_datasets" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

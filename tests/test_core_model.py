@@ -1,0 +1,200 @@
+"""Unit tests for the BOURNE model: forward, loss, stop-grad, EMA, modes."""
+
+import numpy as np
+import pytest
+
+from repro.core import Bourne, BourneConfig, citation_config, social_config
+from repro.core.variants import (
+    ABLATIONS,
+    without_gnn,
+    without_hgnn,
+    without_patch_level,
+    without_perturbation,
+    without_subgraph_level,
+)
+
+
+@pytest.fixture
+def config():
+    return BourneConfig(hidden_dim=16, predictor_hidden=32, subgraph_size=4,
+                        epochs=2, batch_size=8, eval_rounds=2, seed=0)
+
+
+@pytest.fixture
+def model(tiny_graph, config):
+    return Bourne(tiny_graph.num_features, config)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = BourneConfig()
+        assert cfg.hop_size == 2
+        assert cfg.hidden_dim == 128
+        assert cfg.predictor_hidden == 512
+        assert cfg.decay_rate == 0.99
+        assert cfg.learning_rate == 1e-3
+        assert cfg.eval_rounds == 160
+
+    def test_presets(self):
+        assert social_config().subgraph_size == 40
+        assert citation_config().subgraph_size == 12
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            BourneConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            BourneConfig(decay_rate=1.0)
+        with pytest.raises(ValueError):
+            BourneConfig(mode="both")
+        with pytest.raises(ValueError):
+            BourneConfig(subgraph_size=0)
+        with pytest.raises(ValueError):
+            BourneConfig(num_layers=0)
+
+    def test_updated_returns_copy(self):
+        cfg = BourneConfig()
+        cfg2 = cfg.updated(alpha=0.3)
+        assert cfg.alpha != cfg2.alpha
+
+
+class TestForward:
+    def test_batch_scores_shapes(self, tiny_graph, model):
+        targets = [0, 2, 5]
+        gviews, hviews = model.prepare_batch(tiny_graph, targets)
+        scores = model.forward_batch(gviews, hviews)
+        assert scores.node_scores.shape == (3,)
+        assert scores.edge_scores is not None
+        assert len(scores.edge_scores) == len(scores.edge_orig_ids)
+        assert scores.edge_owner.max() <= 2
+
+    def test_scores_in_range(self, tiny_graph, model):
+        cfg = model.config
+        gviews, hviews = model.prepare_batch(tiny_graph, [0, 1, 2])
+        scores = model.forward_batch(gviews, hviews)
+        upper = cfg.alpha + cfg.beta + cfg.alpha + cfg.beta  # cos ∈ [−1, 1]
+        assert np.all(scores.node_scores.data >= -1e-9)
+        assert np.all(scores.node_scores.data <= upper + 1e-9)
+
+    def test_stop_gradient_on_target_network(self, tiny_graph, model):
+        gviews, hviews = model.prepare_batch(tiny_graph, [0, 2])
+        scores = model.forward_batch(gviews, hviews)
+        loss = model.loss(scores)
+        loss.backward()
+        online_grads = [p.grad for p in model.online.parameters()]
+        target_grads = [p.grad for p in model.target.parameters()]
+        assert any(g is not None for g in online_grads)
+        assert all(g is None for g in target_grads)
+
+    def test_predictor_belongs_to_online_only(self, model):
+        online_names = [n for n, _ in model.online.named_parameters()]
+        target_names = [n for n, _ in model.target.named_parameters()]
+        assert any("predictor" in n for n in online_names)
+        assert not any("predictor" in n for n in target_names)
+
+    def test_loss_is_scalar_and_finite(self, tiny_graph, model):
+        gviews, hviews = model.prepare_batch(tiny_graph, [0, 1, 2, 3])
+        loss = model.loss(model.forward_batch(gviews, hviews))
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+
+class TestEMA:
+    def test_target_initialized_from_online(self, model):
+        online = model.online.encoder_parameters()
+        target = model.target.encoder_parameters()
+        for o, t in zip(online, target):
+            np.testing.assert_array_equal(o.data, t.data)
+
+    def test_update_moves_target_toward_online(self, tiny_graph, model):
+        # Perturb online weights, then EMA-update the target.
+        online = model.online.encoder_parameters()
+        target = model.target.encoder_parameters()
+        before = [t.data.copy() for t in target]
+        for o in online:
+            o.data = o.data + 1.0
+        model.update_target()
+        for t, b, o in zip(target, before, online):
+            assert np.all(np.abs(t.data - b) > 0)
+            assert np.all(np.abs(t.data - o.data) < np.abs(b - o.data))
+
+    def test_encoder_parameter_count_matches(self, model):
+        assert len(model.online.encoder_parameters()) == \
+            len(model.target.encoder_parameters())
+
+    def test_trainable_parameters_online_only_by_default(self, model):
+        trainable = set(id(p) for p in model.trainable_parameters())
+        target = set(id(p) for p in model.target.parameters())
+        assert trainable.isdisjoint(target)
+
+    def test_grad_through_target_adds_parameters(self, tiny_graph, config):
+        cfg = config.updated(grad_through_target=True)
+        model = Bourne(tiny_graph.num_features, cfg)
+        trainable = set(id(p) for p in model.trainable_parameters())
+        target = set(id(p) for p in model.target.parameters())
+        assert target <= trainable
+
+
+class TestModes:
+    def test_node_only_has_no_edge_scores(self, tiny_graph, config):
+        model = Bourne(tiny_graph.num_features, config.updated(mode="node_only"))
+        gviews, hviews = model.prepare_batch(tiny_graph, [0, 2])
+        scores = model.forward_batch(gviews, hviews)
+        assert scores.node_scores is not None
+        assert scores.edge_scores is None
+
+    def test_edge_only_has_no_node_scores(self, tiny_graph, config):
+        model = Bourne(tiny_graph.num_features, config.updated(mode="edge_only"))
+        gviews, hviews = model.prepare_batch(tiny_graph, [0, 2])
+        scores = model.forward_batch(gviews, hviews)
+        assert scores.node_scores is None
+        assert scores.edge_scores is not None
+
+    def test_all_modes_losses_finite(self, tiny_graph, config):
+        for mode in ("unified", "node_only", "edge_only"):
+            model = Bourne(tiny_graph.num_features, config.updated(mode=mode))
+            gviews, hviews = model.prepare_batch(tiny_graph, [0, 1, 2])
+            loss = model.loss(model.forward_batch(gviews, hviews))
+            assert np.isfinite(loss.item())
+
+
+class TestVariants:
+    def test_ablation_registry_complete(self):
+        assert set(ABLATIONS) == {"full", "w/o PL", "w/o SL", "w/o HGNN",
+                                  "w/o GNN", "w/o perturbation"}
+
+    def test_without_patch_level(self):
+        cfg = without_patch_level(BourneConfig())
+        assert cfg.alpha == 0.0 and cfg.beta == 1.0
+
+    def test_without_subgraph_level(self):
+        cfg = without_subgraph_level(BourneConfig())
+        assert cfg.alpha == 1.0 and cfg.beta == 0.0
+
+    def test_without_hgnn_is_node_only(self):
+        assert without_hgnn(BourneConfig()).mode == "node_only"
+
+    def test_without_gnn_is_edge_only(self):
+        assert without_gnn(BourneConfig()).mode == "edge_only"
+
+    def test_without_perturbation_disables_augmentation(self):
+        cfg = without_perturbation(BourneConfig())
+        assert cfg.feature_mask_prob == 0.0
+        assert cfg.incidence_drop_prob == 0.0
+        assert not cfg.augment_at_inference
+
+
+class TestLossSemantics:
+    def test_edge_loss_weights_targets_equally(self, tiny_graph, config):
+        """Eq. 19: per-target mean, so a high-degree target does not
+        dominate the edge objective."""
+        model = Bourne(tiny_graph.num_features, config)
+        gviews, hviews = model.prepare_batch(tiny_graph, [2, 7])  # deg 3 vs 1
+        scores = model.forward_batch(gviews, hviews)
+        owners = scores.edge_owner
+        values = scores.edge_scores.data
+        per_target = [values[owners == b].mean() for b in np.unique(owners)]
+        expected_edge_term = np.mean(per_target)
+        node_term = scores.node_scores.data.mean()
+        loss = model.loss(scores).item()
+        assert loss == pytest.approx(0.5 * (node_term + expected_edge_term),
+                                     rel=1e-9)

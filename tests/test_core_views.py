@@ -1,0 +1,164 @@
+"""Unit tests for BOURNE's view construction (Eq. 1–2, 7–8, Γ1/Γ2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    batch_graph_views,
+    batch_hypergraph_views,
+    build_graph_view,
+    build_hypergraph_view,
+    mask_features,
+    perturb_incidence,
+)
+from repro.graph import Graph, sample_enclosing_subgraph
+
+
+@pytest.fixture
+def subgraph(tiny_graph, rng):
+    return sample_enclosing_subgraph(tiny_graph, 2, k=2, size=5, rng=rng)
+
+
+class TestGraphView:
+    def test_anonymization_layout(self, subgraph):
+        view = build_graph_view(subgraph)
+        ns = subgraph.num_nodes
+        assert view.features.shape == (ns + 1, subgraph.features.shape[1])
+        # Slot 0 (target inside subgraph) is zeroed (Eq. 1).
+        np.testing.assert_array_equal(view.features[0], 0.0)
+        # The appended row carries the raw target features.
+        np.testing.assert_array_equal(view.features[ns], subgraph.features[0])
+        # Context rows unchanged.
+        np.testing.assert_array_equal(view.features[1:ns], subgraph.features[1:])
+
+    def test_index_conventions(self, subgraph):
+        view = build_graph_view(subgraph)
+        assert view.patch_row == 0
+        assert view.target_row == subgraph.num_nodes
+        assert view.num_context_rows == subgraph.num_nodes
+
+    def test_isolated_copy_not_connected(self, subgraph):
+        view = build_graph_view(subgraph)
+        ns = subgraph.num_nodes
+        op = np.asarray(view.operator)
+        # Eq. 2: the appended row interacts only with itself.
+        assert np.count_nonzero(op[ns, :ns]) == 0
+        assert np.count_nonzero(op[:ns, ns]) == 0
+        assert op[ns, ns] > 0
+
+    def test_operator_shape(self, subgraph):
+        view = build_graph_view(subgraph)
+        n = subgraph.num_nodes + 1
+        assert view.operator.shape == (n, n)
+
+
+class TestAugmentations:
+    def test_mask_features_zeroes_columns(self, rng):
+        features = np.ones((5, 40))
+        masked = mask_features(features, 0.5, rng)
+        zero_cols = (masked == 0).all(axis=0)
+        assert 0 < zero_cols.sum() < 40
+        # Non-masked columns untouched.
+        np.testing.assert_array_equal(masked[:, ~zero_cols], 1.0)
+
+    def test_mask_features_zero_prob_identity(self, rng):
+        features = np.ones((3, 4))
+        assert mask_features(features, 0.0, rng) is features
+
+    def test_perturb_incidence_drops_entries(self, rng):
+        import scipy.sparse as sp
+        incidence = sp.csr_matrix(np.ones((20, 20)))
+        perturbed = perturb_incidence(incidence, 0.5, rng)
+        assert perturbed.nnz < incidence.nnz
+        assert perturbed.shape == incidence.shape   # node count constant
+
+    def test_perturb_incidence_zero_prob_identity(self, rng):
+        import scipy.sparse as sp
+        incidence = sp.csr_matrix(np.eye(4))
+        assert perturb_incidence(incidence, 0.0, rng) is incidence
+
+
+class TestHypergraphView:
+    def test_layout(self, subgraph, rng):
+        view = build_hypergraph_view(subgraph, rng, augment=False)
+        ms, mtar = subgraph.num_edges, subgraph.num_target_edges
+        assert view.features.shape[0] == ms + mtar
+        # Eq. 7: first Mtar rows (anonymized target edges) are zero.
+        np.testing.assert_array_equal(view.features[:mtar], 0.0)
+        assert view.num_target_edges == mtar
+        assert view.num_context_rows == ms
+
+    def test_appended_rows_carry_raw_edge_features(self, subgraph, rng):
+        view = build_hypergraph_view(subgraph, rng, augment=False)
+        ms, mtar = subgraph.num_edges, subgraph.num_target_edges
+        for t in range(mtar):
+            a, b = subgraph.edges[t]
+            expected = 0.5 * (subgraph.features[a] + subgraph.features[b])
+            np.testing.assert_allclose(view.features[ms + t], expected)
+
+    def test_operator_isolates_copies(self, subgraph, rng):
+        view = build_hypergraph_view(subgraph, rng, augment=False)
+        ms, mtar = subgraph.num_edges, subgraph.num_target_edges
+        op = np.asarray(view.operator)
+        # Eq. 8: identity block → copies only touch themselves.
+        for t in range(mtar):
+            row = op[ms + t]
+            assert np.count_nonzero(row[:ms]) == 0
+
+    def test_edgeless_subgraph_returns_none(self, rng):
+        g = Graph(rng.normal(size=(3, 2)), np.array([[1, 2]]))
+        sub = sample_enclosing_subgraph(g, 0, k=2, size=3, rng=rng)
+        assert build_hypergraph_view(sub, rng) is None
+
+    def test_edge_orig_ids_preserved(self, subgraph, rng):
+        view = build_hypergraph_view(subgraph, rng, augment=False)
+        np.testing.assert_array_equal(view.edge_orig_ids,
+                                      subgraph.target_edge_orig_ids)
+
+
+class TestBatching:
+    def test_graph_batch_indices(self, tiny_graph, rng):
+        subs = [sample_enclosing_subgraph(tiny_graph, t, 2, 4, rng)
+                for t in (0, 3, 6)]
+        views = [build_graph_view(s) for s in subs]
+        batch = batch_graph_views(views)
+        assert batch.batch_size == 3
+        total = sum(v.features.shape[0] for v in views)
+        assert batch.features.shape[0] == total
+        assert batch.operator.shape == (total, total)
+        # Target rows point at the raw target copies.
+        for b, (sub, row) in enumerate(zip(subs, batch.target_rows)):
+            np.testing.assert_array_equal(batch.features[row], sub.features[0])
+
+    def test_graph_batch_pool_rows_sum_to_one(self, tiny_graph, rng):
+        subs = [sample_enclosing_subgraph(tiny_graph, t, 2, 4, rng)
+                for t in (0, 1)]
+        batch = batch_graph_views([build_graph_view(s) for s in subs])
+        sums = np.asarray(batch.context_pool.sum(axis=1)).reshape(-1)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_hypergraph_batch_owners(self, tiny_graph, rng):
+        subs = [sample_enclosing_subgraph(tiny_graph, t, 2, 4, rng)
+                for t in (0, 2)]
+        views = [build_hypergraph_view(s, rng, augment=False) for s in subs]
+        batch = batch_hypergraph_views(views, tiny_graph.num_features)
+        assert len(batch.zt_rows) == sum(v.num_target_edges for v in views)
+        assert set(batch.edge_owner.tolist()) <= {0, 1}
+        assert np.all(batch.has_edges)
+
+    def test_hypergraph_batch_handles_none(self, tiny_graph, rng):
+        sub = sample_enclosing_subgraph(tiny_graph, 0, 2, 4, rng)
+        view = build_hypergraph_view(sub, rng, augment=False)
+        batch = batch_hypergraph_views([None, view], tiny_graph.num_features)
+        assert not batch.has_edges[0]
+        assert batch.has_edges[1]
+        assert np.all(batch.edge_owner == 1)
+
+    def test_edge_patch_rows_align_with_zt_rows(self, tiny_graph, rng):
+        sub = sample_enclosing_subgraph(tiny_graph, 2, 2, 5, rng)
+        view = build_hypergraph_view(sub, rng, augment=False)
+        batch = batch_hypergraph_views([view], tiny_graph.num_features)
+        assert len(batch.edge_patch_rows) == len(batch.zt_rows)
+        # Patch rows are the anonymized leading rows (offset 0 here).
+        np.testing.assert_array_equal(batch.edge_patch_rows,
+                                      np.arange(view.num_target_edges))

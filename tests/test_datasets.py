@@ -1,0 +1,150 @@
+"""Unit tests for dataset specs and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_ANOMALY_COUNTS,
+    PAPER_SPECS,
+    available_datasets,
+    dataset_statistics,
+    get_spec,
+    load_benchmark,
+    load_dataset,
+)
+from repro.datasets.topology import community_topology, powerlaw_propensities
+
+
+class TestSpecs:
+    def test_six_datasets_registered(self):
+        assert len(available_datasets()) == 6
+        assert set(available_datasets()) == set(PAPER_SPECS)
+
+    def test_paper_sizes_match_table2(self):
+        spec = get_spec("cora")
+        assert (spec.num_nodes, spec.num_edges, spec.num_attributes) == (2708, 5429, 1433)
+        assert get_spec("pubmed").clique_count == 200
+
+    def test_anomaly_counts_table(self):
+        assert PAPER_ANOMALY_COUNTS["cora"] == {"nodes": 150, "edges": 1232}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_spec("citeseer")
+
+    def test_scaling_shrinks_proportionally(self):
+        spec = get_spec("pubmed").scaled(0.1)
+        assert spec.num_nodes == 1971
+        assert spec.num_attributes == 50
+        assert spec.clique_count == 20
+
+    def test_scaling_floors(self):
+        spec = get_spec("cora").scaled(0.01)
+        assert spec.num_nodes >= 200
+        assert spec.num_attributes >= 16
+        assert spec.clique_count >= 2
+
+    def test_scale_one_is_identity(self):
+        assert get_spec("cora").scaled(1.0) is get_spec("cora")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_spec("cora").scaled(0.0)
+        with pytest.raises(ValueError):
+            get_spec("cora").scaled(1.5)
+
+    def test_dgraph_has_ground_truth(self):
+        assert get_spec("dgraph").has_ground_truth_nodes
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", ["cora", "blogcatalog", "dgraph"])
+    def test_clean_generation(self, name):
+        graph = load_dataset(name, seed=0, scale=0.06)
+        spec = get_spec(name).scaled(0.06)
+        assert graph.num_nodes == spec.num_nodes
+        assert graph.num_features == spec.num_attributes
+        # Edge count within a tolerance of the target (dedup losses).
+        assert graph.num_edges >= 0.5 * spec.num_edges
+
+    def test_no_isolated_nodes(self):
+        graph = load_dataset("cora", seed=1, scale=0.08)
+        assert np.all(graph.degrees > 0)
+
+    def test_determinism(self):
+        a = load_dataset("cora", seed=3, scale=0.06)
+        b = load_dataset("cora", seed=3, scale=0.06)
+        np.testing.assert_array_equal(a.edges, b.edges)
+        np.testing.assert_allclose(a.features, b.features)
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("cora", seed=1, scale=0.06)
+        b = load_dataset("cora", seed=2, scale=0.06)
+        assert not np.array_equal(a.edges, b.edges)
+
+    def test_citation_features_binary_sparse(self):
+        graph = load_dataset("cora", seed=0, scale=0.06)
+        values = np.unique(graph.features)
+        assert set(values.tolist()) <= {0.0, 1.0}
+        assert (graph.features > 0).mean() < 0.35
+
+    def test_social_features_counts(self):
+        graph = load_dataset("blogcatalog", seed=0, scale=0.06)
+        assert np.all(graph.features >= 0)
+        assert graph.features.max() >= 2.0     # counts, not binary
+
+    def test_dgraph_has_fraud_labels(self):
+        graph = load_dataset("dgraph", seed=0, scale=0.02)
+        assert graph.node_labels.sum() > 0
+        # Fraud features deviate from normal ones.
+        fraud = graph.features[graph.node_labels == 1]
+        normal = graph.features[graph.node_labels == 0]
+        assert np.abs(fraud.mean(axis=0) - normal.mean(axis=0)).max() > 0.5
+
+    def test_heavy_tailed_degrees(self):
+        graph = load_dataset("cora", seed=0, scale=0.3)
+        degrees = graph.degrees
+        assert degrees.max() > 4 * np.median(degrees)
+
+
+class TestBenchmarkLoading:
+    def test_benchmark_has_anomalies(self):
+        graph = load_benchmark("cora", seed=0, scale=0.08)
+        assert graph.node_labels.sum() > 0
+        assert graph.edge_labels.sum() > 0
+
+    def test_benchmark_determinism(self):
+        a = load_benchmark("cora", seed=0, scale=0.08)
+        b = load_benchmark("cora", seed=0, scale=0.08)
+        np.testing.assert_array_equal(a.node_labels, b.node_labels)
+        np.testing.assert_array_equal(a.edge_labels, b.edge_labels)
+
+    def test_dgraph_benchmark_keeps_ground_truth_nodes(self):
+        clean = load_dataset("dgraph", seed=0, scale=0.02)
+        bench = load_benchmark("dgraph", seed=0, scale=0.02)
+        np.testing.assert_array_equal(clean.node_labels, bench.node_labels)
+        assert bench.edge_labels.sum() > 0
+
+    def test_statistics_keys(self):
+        graph = load_benchmark("cora", seed=0, scale=0.08)
+        stats = dataset_statistics(graph)
+        assert set(stats) == {"name", "nodes", "edges", "attributes",
+                              "node_anomalies", "edge_anomalies"}
+
+
+class TestTopology:
+    def test_propensities_normalized(self, rng):
+        p = powerlaw_propensities(500, rng)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+    def test_community_topology_counts(self, rng):
+        edges, communities = community_topology(300, 900, rng)
+        assert len(communities) == 300
+        assert len(edges) >= 450
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_homophily_present(self, rng):
+        edges, communities = community_topology(400, 1600, rng, homophily=0.9)
+        same = (communities[edges[:, 0]] == communities[edges[:, 1]]).mean()
+        assert same > 0.5

@@ -1,0 +1,149 @@
+"""Unit tests for the Graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, canonical_edges
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_nodes == 8
+        assert tiny_graph.num_edges == 9
+        assert tiny_graph.num_features == 6
+
+    def test_edges_canonicalized(self, rng):
+        g = Graph(rng.normal(size=(4, 2)), np.array([[2, 1], [1, 2], [3, 0]]))
+        assert g.num_edges == 2
+        assert np.all(g.edges[:, 0] < g.edges[:, 1])
+
+    def test_edge_labels_follow_canonical_order(self, rng):
+        # (3,1) with label 1 must keep its label after sorting to (1,3).
+        edges = np.array([[3, 1], [0, 2]])
+        labels = np.array([1, 0])
+        g = Graph(rng.normal(size=(4, 2)), edges, edge_labels=labels)
+        assert g.edge_labels[g.edge_id(1, 3)] == 1
+        assert g.edge_labels[g.edge_id(0, 2)] == 0
+
+    def test_duplicate_edges_with_labels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Graph(rng.normal(size=(3, 2)), np.array([[0, 1], [1, 0]]),
+                  edge_labels=np.array([0, 1]))
+
+    def test_self_loop_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Graph(rng.normal(size=(3, 2)), np.array([[1, 1]]))
+
+    def test_out_of_range_edge_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Graph(rng.normal(size=(3, 2)), np.array([[0, 5]]))
+
+    def test_bad_label_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Graph(rng.normal(size=(3, 2)), np.array([[0, 1]]),
+                  node_labels=np.zeros(5))
+
+    def test_nonbinary_labels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Graph(rng.normal(size=(3, 2)), np.array([[0, 1]]),
+                  node_labels=np.array([0, 2, 0]))
+
+    def test_1d_features_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(np.zeros(3), np.array([[0, 1]]))
+
+    def test_empty_edge_list(self, rng):
+        g = Graph(rng.normal(size=(3, 2)), np.zeros((0, 2)))
+        assert g.num_edges == 0
+        assert g.adjacency.shape == (3, 3)
+        assert g.incidence.shape == (3, 0)
+
+    def test_repr(self, tiny_graph):
+        assert "nodes=8" in repr(tiny_graph)
+
+
+class TestDerived:
+    def test_adjacency_symmetric_binary(self, tiny_graph):
+        a = tiny_graph.adjacency.toarray()
+        np.testing.assert_array_equal(a, a.T)
+        assert set(np.unique(a)) <= {0.0, 1.0}
+
+    def test_degrees_match_adjacency(self, tiny_graph):
+        np.testing.assert_array_equal(
+            tiny_graph.degrees,
+            tiny_graph.adjacency.sum(axis=1).A1.astype(np.int64)
+            if hasattr(tiny_graph.adjacency.sum(axis=1), "A1")
+            else np.asarray(tiny_graph.adjacency.sum(axis=1)).reshape(-1).astype(np.int64),
+        )
+
+    def test_incidence_column_sums_are_two(self, tiny_graph):
+        cols = np.asarray(tiny_graph.incidence.sum(axis=0)).reshape(-1)
+        np.testing.assert_array_equal(cols, np.full(tiny_graph.num_edges, 2.0))
+
+    def test_incidence_row_sums_are_degrees(self, tiny_graph):
+        rows = np.asarray(tiny_graph.incidence.sum(axis=1)).reshape(-1)
+        np.testing.assert_array_equal(rows.astype(np.int64), tiny_graph.degrees)
+
+    def test_neighbors(self, tiny_graph):
+        assert set(tiny_graph.neighbors(2).tolist()) == {0, 1, 3}
+        assert set(tiny_graph.neighbors(7).tolist()) == {6}
+
+    def test_edge_id_lookup(self, tiny_graph):
+        eid = tiny_graph.edge_id(1, 0)
+        assert tuple(tiny_graph.edges[eid]) == (0, 1)
+
+    def test_edge_id_missing_raises(self, tiny_graph):
+        with pytest.raises(KeyError):
+            tiny_graph.edge_id(0, 7)
+
+    def test_has_edge_order_invariant(self, tiny_graph):
+        assert tiny_graph.has_edge(2, 0)
+        assert tiny_graph.has_edge(0, 2)
+        assert not tiny_graph.has_edge(0, 7)
+
+    def test_incident_edge_ids(self, tiny_graph):
+        ids = tiny_graph.incident_edge_ids(2)
+        assert len(ids) == 3
+        for eid in ids:
+            assert 2 in tiny_graph.edges[eid]
+
+
+class TestWithUpdates:
+    def test_add_edges_preserves_old_labels(self, rng):
+        g = Graph(rng.normal(size=(4, 2)), np.array([[0, 1]]),
+                  edge_labels=np.array([1]))
+        g2 = g.with_updates(extra_edges=np.array([[2, 3]]), edge_labels_for_new=0)
+        assert g2.num_edges == 2
+        assert g2.edge_labels[g2.edge_id(0, 1)] == 1
+        assert g2.edge_labels[g2.edge_id(2, 3)] == 0
+
+    def test_add_duplicate_edge_is_noop(self, tiny_graph):
+        g2 = tiny_graph.with_updates(extra_edges=np.array([[0, 1]]))
+        assert g2.num_edges == tiny_graph.num_edges
+
+    def test_feature_update(self, tiny_graph):
+        new_features = np.zeros_like(tiny_graph.features)
+        g2 = tiny_graph.with_updates(features=new_features)
+        assert np.all(g2.features == 0)
+        assert g2.num_edges == tiny_graph.num_edges
+
+    def test_new_edge_labels_marked(self, tiny_graph):
+        g2 = tiny_graph.with_updates(extra_edges=np.array([[0, 7]]),
+                                     edge_labels_for_new=1)
+        assert g2.edge_labels[g2.edge_id(0, 7)] == 1
+        assert g2.edge_labels.sum() == 1
+
+    def test_copy_independent(self, tiny_graph):
+        g2 = tiny_graph.copy()
+        g2.features[0, 0] = 123.0
+        assert tiny_graph.features[0, 0] != 123.0
+
+
+class TestCanonicalEdges:
+    def test_sorts_and_dedupes(self):
+        edges = np.array([[2, 1], [1, 2], [0, 3], [3, 0]])
+        out = canonical_edges(edges)
+        np.testing.assert_array_equal(out, [[0, 3], [1, 2]])
+
+    def test_empty(self):
+        assert canonical_edges(np.zeros((0, 2))).shape == (0, 2)

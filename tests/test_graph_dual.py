@@ -1,0 +1,133 @@
+"""Unit + property tests for the dual hypergraph transformation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    Hypergraph,
+    dual_hypergraph,
+    edge_features,
+    gcn_operator,
+    hgnn_operator,
+    incidence_from_edges,
+    row_normalize,
+)
+
+
+class TestEdgeFeatures:
+    def test_endpoint_mean(self, rng):
+        features = rng.normal(size=(4, 3))
+        edges = np.array([[0, 1], [2, 3]])
+        out = edge_features(features, edges)
+        np.testing.assert_allclose(out[0], 0.5 * (features[0] + features[1]))
+        np.testing.assert_allclose(out[1], 0.5 * (features[2] + features[3]))
+
+    def test_empty_edges(self, rng):
+        out = edge_features(rng.normal(size=(3, 5)), np.zeros((0, 2)))
+        assert out.shape == (0, 5)
+
+
+class TestDualTransformation:
+    def test_counts_swap(self, tiny_graph):
+        dual = dual_hypergraph(tiny_graph.features, tiny_graph.edges,
+                               tiny_graph.num_nodes)
+        assert dual.num_nodes == tiny_graph.num_edges
+        assert dual.num_hyperedges == tiny_graph.num_nodes
+
+    def test_incidence_is_transpose(self, tiny_graph):
+        incidence = incidence_from_edges(tiny_graph.edges, tiny_graph.num_nodes)
+        dual = dual_hypergraph(tiny_graph.features, tiny_graph.edges,
+                               tiny_graph.num_nodes)
+        np.testing.assert_array_equal(dual.incidence.toarray(),
+                                      incidence.T.toarray())
+
+    def test_degree_exchange(self, tiny_graph):
+        """Node degrees of G become hyperedge degrees of G*, and every
+        dual node (edge of G) belongs to exactly 2 hyperedges."""
+        dual = dual_hypergraph(tiny_graph.features, tiny_graph.edges,
+                               tiny_graph.num_nodes)
+        np.testing.assert_array_equal(dual.hyperedge_degrees, tiny_graph.degrees)
+        np.testing.assert_array_equal(dual.node_degrees,
+                                      np.full(tiny_graph.num_edges, 2.0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=30),
+           st.integers(min_value=0, max_value=10_000))
+    def test_dual_properties_random_graphs(self, n, extra_edges, seed):
+        rng = np.random.default_rng(seed)
+        pairs = set()
+        for _ in range(extra_edges):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                pairs.add((min(u, v), max(u, v)))
+        edges = np.array(sorted(pairs), dtype=np.int64).reshape(-1, 2)
+        features = rng.normal(size=(n, 4))
+        dual = dual_hypergraph(features, edges, n)
+        assert dual.num_nodes == len(edges)
+        assert dual.num_hyperedges == n
+        assert dual.incidence.nnz == 2 * len(edges)
+
+
+class TestHypergraph:
+    def test_feature_row_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_copy(self, tiny_graph):
+        dual = dual_hypergraph(tiny_graph.features, tiny_graph.edges,
+                               tiny_graph.num_nodes)
+        clone = dual.copy()
+        clone.features[:] = 0
+        assert not np.allclose(dual.features, 0)
+
+    def test_repr(self, tiny_graph):
+        dual = dual_hypergraph(tiny_graph.features, tiny_graph.edges,
+                               tiny_graph.num_nodes)
+        assert "Hypergraph" in repr(dual)
+
+
+class TestOperators:
+    def test_gcn_operator_symmetric(self, tiny_graph):
+        op = gcn_operator(tiny_graph.adjacency).toarray()
+        np.testing.assert_allclose(op, op.T, atol=1e-12)
+
+    def test_gcn_operator_entries_nonnegative_bounded(self, tiny_graph):
+        op = gcn_operator(tiny_graph.adjacency).toarray()
+        assert np.all(op >= 0.0)
+        assert np.all(op <= 1.0 + 1e-9)
+        # Self-loop entries on the diagonal.
+        assert np.all(np.diag(op) > 0.0)
+
+    def test_gcn_operator_zero_degree_row(self):
+        # Isolated node with no self-loops at all: zero row is fine.
+        op = gcn_operator(np.zeros((2, 2)), add_self_loops=False).toarray()
+        np.testing.assert_allclose(op, np.zeros((2, 2)))
+
+    def test_gcn_operator_self_loops_make_identity(self):
+        op = gcn_operator(np.zeros((3, 3)), add_self_loops=True).toarray()
+        np.testing.assert_allclose(op, np.eye(3))
+
+    def test_hgnn_operator_symmetric(self, tiny_graph):
+        incidence = incidence_from_edges(tiny_graph.edges, tiny_graph.num_nodes)
+        op = hgnn_operator(incidence.T).toarray()
+        np.testing.assert_allclose(op, op.T, atol=1e-12)
+
+    def test_hgnn_operator_empty_incidence(self):
+        op = hgnn_operator(np.zeros((3, 2))).toarray()
+        np.testing.assert_allclose(op, np.zeros((3, 3)))
+
+    def test_hgnn_propagation_constant_vector_invariance(self):
+        """A single hyperedge over all nodes averages a constant vector
+        back to (a multiple of) itself."""
+        incidence = np.ones((4, 1))
+        op = hgnn_operator(incidence)
+        out = op @ np.ones(4)
+        np.testing.assert_allclose(out, np.full(4, out[0]))
+
+    def test_row_normalize_stochastic(self, tiny_graph):
+        op = row_normalize(tiny_graph.adjacency).toarray()
+        sums = op.sum(axis=1)
+        np.testing.assert_allclose(sums[sums > 0], 1.0)

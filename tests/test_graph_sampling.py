@@ -1,0 +1,106 @@
+"""Unit tests for subgraph samplers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    khop_neighbors,
+    random_walk_subgraph,
+    sample_enclosing_subgraph,
+)
+
+
+class TestKhop:
+    def test_one_hop(self, tiny_graph):
+        assert set(khop_neighbors(tiny_graph, 0, 1).tolist()) == {1, 2}
+
+    def test_two_hop(self, tiny_graph):
+        assert set(khop_neighbors(tiny_graph, 0, 2).tolist()) == {1, 2, 3}
+
+    def test_excludes_self(self, tiny_graph):
+        assert 0 not in khop_neighbors(tiny_graph, 0, 3)
+
+    def test_isolated_node(self, rng):
+        g = Graph(rng.normal(size=(3, 2)), np.array([[1, 2]]))
+        assert len(khop_neighbors(g, 0, 2)) == 0
+
+    def test_invalid_k(self, tiny_graph):
+        with pytest.raises(ValueError):
+            khop_neighbors(tiny_graph, 0, 0)
+
+
+class TestEnclosingSubgraph:
+    def test_slot_zero_is_target(self, tiny_graph, rng):
+        sub = sample_enclosing_subgraph(tiny_graph, 2, k=2, size=4, rng=rng)
+        assert sub.node_ids[0] == 2
+        assert sub.target == 2
+
+    def test_fixed_size(self, tiny_graph, rng):
+        for target in range(tiny_graph.num_nodes):
+            sub = sample_enclosing_subgraph(tiny_graph, target, k=2, size=5, rng=rng)
+            assert sub.num_nodes == 6
+
+    def test_features_match_slots(self, tiny_graph, rng):
+        sub = sample_enclosing_subgraph(tiny_graph, 1, k=2, size=4, rng=rng)
+        np.testing.assert_array_equal(sub.features,
+                                      tiny_graph.features[sub.node_ids])
+
+    def test_edges_reference_true_parent_edges(self, tiny_graph, rng):
+        sub = sample_enclosing_subgraph(tiny_graph, 0, k=2, size=4, rng=rng)
+        for (a, b), orig in zip(sub.edges, sub.edge_orig_ids):
+            u, v = int(sub.node_ids[a]), int(sub.node_ids[b])
+            assert tiny_graph.has_edge(u, v)
+            assert tiny_graph.edge_id(u, v) == orig
+
+    def test_target_edges_come_first_and_touch_slot0(self, tiny_graph, rng):
+        sub = sample_enclosing_subgraph(tiny_graph, 2, k=2, size=6, rng=rng)
+        mtar = sub.num_target_edges
+        assert mtar >= 1
+        assert np.all(sub.edges[:mtar, 0] == 0)
+        assert np.all(sub.edges[mtar:, 0] != 0)
+
+    def test_target_edge_ids_unique(self, tiny_graph, rng):
+        sub = sample_enclosing_subgraph(tiny_graph, 2, k=2, size=8, rng=rng)
+        ids = sub.target_edge_orig_ids
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_one_hop_neighbors_prioritized(self, tiny_graph, rng):
+        # Node 2 has 4 neighbours; with size=4 all must be 1-hop.
+        sub = sample_enclosing_subgraph(tiny_graph, 2, k=2, size=4, rng=rng)
+        one_hop = set(tiny_graph.neighbors(2).tolist())
+        assert set(sub.node_ids[1:].tolist()) <= one_hop
+
+    def test_isolated_target_degenerates_gracefully(self, rng):
+        g = Graph(rng.normal(size=(3, 2)), np.array([[1, 2]]))
+        sub = sample_enclosing_subgraph(g, 0, k=2, size=3, rng=rng)
+        assert sub.num_edges == 0
+        assert sub.num_target_edges == 0
+        assert np.all(sub.node_ids == 0)
+
+    def test_small_neighborhood_pads_with_replacement(self, rng):
+        g = Graph(rng.normal(size=(3, 2)), np.array([[0, 1]]))
+        sub = sample_enclosing_subgraph(g, 0, k=2, size=5, rng=rng)
+        assert sub.num_nodes == 6          # padded despite 1 neighbour
+
+
+class TestRandomWalk:
+    def test_start_first_and_size(self, tiny_graph, rng):
+        nodes = random_walk_subgraph(tiny_graph, 3, size=4, rng=rng)
+        assert nodes[0] == 3
+        assert len(nodes) == 4
+
+    def test_isolated_start_pads(self, rng):
+        g = Graph(rng.normal(size=(3, 2)), np.array([[1, 2]]))
+        nodes = random_walk_subgraph(g, 0, size=4, rng=rng)
+        np.testing.assert_array_equal(nodes, [0, 0, 0, 0])
+
+    def test_visits_are_reachable(self, tiny_graph, rng):
+        nodes = random_walk_subgraph(tiny_graph, 0, size=5, rng=rng)
+        reachable = {0, 1, 2, 3, 4, 5, 6, 7}
+        assert set(nodes.tolist()) <= reachable
+
+    def test_deterministic_given_rng(self, tiny_graph):
+        a = random_walk_subgraph(tiny_graph, 0, 5, np.random.default_rng(3))
+        b = random_walk_subgraph(tiny_graph, 0, 5, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

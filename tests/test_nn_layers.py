@@ -1,0 +1,192 @@
+"""Unit tests for neural layers: Linear, MLP, GCN, HGNN, GAT, readouts."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import gcn_operator, hgnn_operator
+from repro.nn import (
+    Dropout,
+    GATConv,
+    GCNConv,
+    HGNNConv,
+    Linear,
+    MLP,
+    PReLU,
+    get_readout,
+    max_readout,
+    mean_readout,
+    sum_readout,
+)
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(3, 2, rng)
+        layer(Tensor(np.ones((2, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_repr(self, rng):
+        assert "Linear" in repr(Linear(2, 2, rng))
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        mlp = MLP(4, [8, 8], 2, rng)
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_hidden_layers_have_activations(self, rng):
+        mlp = MLP(4, [8], 2, rng)
+        prelu_params = [n for n, _ in mlp.named_parameters() if "alpha" in n]
+        assert len(prelu_params) == 1
+
+    def test_no_hidden(self, rng):
+        mlp = MLP(4, [], 2, rng)
+        assert mlp(Tensor(np.ones((1, 4)))).shape == (1, 2)
+
+
+class TestGCNConv:
+    def test_shape_and_grad(self, rng):
+        operator = gcn_operator(sp.eye(5, format="csr"))
+        conv = GCNConv(4, 6, rng)
+        out = conv(operator, Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 6)
+        out.sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.act.alpha.grad is not None
+
+    def test_identity_operator_equals_dense_layer(self, rng):
+        # With operator = I (no self-loop added in the operator itself),
+        # a GCN layer is exactly PReLU(x @ W).
+        conv = GCNConv(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        out = conv(sp.eye(4, format="csr"), Tensor(x)).data
+        support = x @ conv.weight.data
+        alpha = conv.act.alpha.data
+        expected = np.where(support > 0, support, alpha * support)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_aggregation_mixes_neighbors(self, rng):
+        adjacency = sp.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+        operator = gcn_operator(adjacency)
+        conv = GCNConv(2, 2, rng, activation=None)
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = conv(operator, Tensor(x)).data
+        # Each node's output must depend on the other's features.
+        solo = conv(gcn_operator(sp.csr_matrix((2, 2))), Tensor(x)).data
+        assert not np.allclose(out, solo)
+
+    def test_bias_option(self, rng):
+        conv = GCNConv(3, 2, rng, bias=True)
+        assert conv.bias is not None
+
+    def test_invalid_activation(self, rng):
+        with pytest.raises(ValueError):
+            GCNConv(3, 2, rng, activation="gelu")
+
+
+class TestHGNNConv:
+    def test_shape(self, rng):
+        incidence = sp.csr_matrix(np.array([[1, 0], [1, 1], [0, 1]], dtype=float))
+        operator = hgnn_operator(incidence)
+        conv = HGNNConv(4, 6, rng)
+        out = conv(operator, Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 6)
+
+    def test_parameter_layout_matches_gcn(self, rng):
+        gcn = GCNConv(4, 6, rng)
+        hgnn = HGNNConv(4, 6, rng)
+        gcn_shapes = [p.data.shape for p in gcn.parameters()]
+        hgnn_shapes = [p.data.shape for p in hgnn.parameters()]
+        assert gcn_shapes == hgnn_shapes
+
+    def test_invalid_activation(self, rng):
+        with pytest.raises(ValueError):
+            HGNNConv(3, 2, rng, activation="bad")
+
+
+class TestGATConv:
+    def test_shape_and_grad(self, rng):
+        edges = np.array([[0, 1, 2], [1, 2, 0]])
+        conv = GATConv(4, 3, rng)
+        out = conv(edges, 4, Tensor(np.ones((4, 4))))
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.att_src.grad is not None
+
+    def test_isolated_node_attends_to_self(self, rng):
+        edges = np.zeros((2, 0), dtype=np.int64)
+        conv = GATConv(2, 2, rng)
+        x = rng.normal(size=(3, 2))
+        out = conv(edges, 3, Tensor(x)).data
+        # Self-loop only: output = h (attention weight 1 on itself).
+        expected = x @ conv.weight.data
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    def test_attention_weights_normalize(self, rng):
+        # Messages into a node are a convex combination: with identical
+        # source features the output equals the single-source value.
+        edges = np.array([[0, 1], [2, 2]])
+        conv = GATConv(2, 2, rng)
+        x = np.ones((3, 2))
+        out = conv(edges, 3, Tensor(x)).data
+        expected = (np.ones((1, 2)) @ conv.weight.data).reshape(-1)
+        np.testing.assert_allclose(out[2], expected, atol=1e-9)
+
+
+class TestDropoutModule:
+    def test_respects_eval_mode(self, rng):
+        drop = Dropout(0.5, rng)
+        drop.eval()
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.5, rng)
+
+
+class TestReadouts:
+    def test_mean(self):
+        h = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(mean_readout(h).data, [2.0, 3.0])
+
+    def test_sum(self):
+        h = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(sum_readout(h).data, [4.0, 6.0])
+
+    def test_max(self):
+        h = Tensor(np.array([[1.0, 5.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(max_readout(h).data, [3.0, 5.0])
+
+    def test_get_readout(self):
+        assert get_readout("mean") is mean_readout
+        with pytest.raises(ValueError):
+            get_readout("median")
+
+
+class TestPReLU:
+    def test_negative_slope_learnable(self):
+        act = PReLU(init_alpha=0.1)
+        out = act(Tensor(np.array([-10.0])))
+        assert out.data[0] == pytest.approx(-1.0)
+        out.sum().backward()
+        assert act.alpha.grad is not None
