@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Serving throughput: incremental vs. full rescoring after mutations.
+
+For each trial, one random edge is inserted into the served graph; the
+incremental path re-scores only the dirty region through the warm
+:class:`ScoringService`, while the full path re-scores every node
+through a cold service (what a batch deployment would do).  Both
+produce the identical score table — the serving-equivalence tests pin
+that down bitwise — so the speedup is pure dirty-region bookkeeping.
+
+Run standalone::
+
+    python benchmarks/bench_serving_throughput.py
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (default 0.15),
+``REPRO_BENCH_TRIALS`` (default 5), ``REPRO_BENCH_ROUNDS`` (default 2).
+The acceptance bar (mean speedup >= 5x) is asserted at exit.
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "..", "src"))
+
+import numpy as np
+
+from repro.core import Bourne, BourneConfig
+from repro.datasets import load_benchmark
+from repro.eval import normalize_graph
+from repro.serving import GraphStore, ScoringService
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "5"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+TARGET_SPEEDUP = 5.0
+
+
+def main() -> int:
+    graph = normalize_graph(load_benchmark("cora", seed=0, scale=SCALE))
+    print(f"benchmark graph: {graph}")
+    config = BourneConfig(hidden_dim=32, predictor_hidden=64,
+                          subgraph_size=8, eval_rounds=ROUNDS, seed=0)
+    model = Bourne(graph.num_features, config)
+
+    store = GraphStore.from_graph(graph, influence_radius=config.hop_size)
+    service = ScoringService(model, store, rounds=ROUNDS)
+    start = time.perf_counter()
+    warmup = service.refresh()
+    print(f"warm-up: {warmup.num_rescored} nodes in "
+          f"{time.perf_counter() - start:.2f}s")
+
+    rng = np.random.default_rng(42)
+    n = store.num_nodes
+    speedups, incremental_rps, full_rps = [], [], []
+    for trial in range(TRIALS):
+        while True:
+            u, v = (int(x) for x in rng.integers(0, n, size=2))
+            if u != v and not store.has_edge(u, v):
+                break
+        store.add_edge(u, v)
+
+        start = time.perf_counter()
+        incremental = service.refresh()
+        incremental_time = time.perf_counter() - start
+
+        cold = ScoringService(model, GraphStore.from_graph(
+            store.snapshot(), influence_radius=config.hop_size),
+            rounds=ROUNDS)
+        start = time.perf_counter()
+        full = cold.refresh()
+        full_time = time.perf_counter() - start
+
+        if not np.array_equal(incremental.scores, full.scores):
+            print("FAIL: incremental and full score tables diverged")
+            return 1
+        speedup = full_time / incremental_time
+        speedups.append(speedup)
+        incremental_rps.append(n / incremental_time)
+        full_rps.append(n / full_time)
+        print(f"trial {trial + 1}: +edge ({u},{v}) -> rescored "
+              f"{incremental.num_rescored:4d}/{n} | incremental "
+              f"{incremental_time * 1000:7.1f}ms ({n / incremental_time:8.0f} "
+              f"scores/s) | full {full_time * 1000:7.1f}ms "
+              f"({n / full_time:8.0f} scores/s) | speedup {speedup:5.1f}x")
+
+    mean_speedup = float(np.mean(speedups))
+    print(f"\nmean over {TRIALS} trials: incremental "
+          f"{np.mean(incremental_rps):.0f} scores/s vs full "
+          f"{np.mean(full_rps):.0f} scores/s -> speedup {mean_speedup:.1f}x "
+          f"(target >= {TARGET_SPEEDUP:.0f}x)")
+    if mean_speedup < TARGET_SPEEDUP:
+        print("FAIL: below target speedup")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

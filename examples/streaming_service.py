@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Streaming anomaly detection: serve a mutating graph from a registry.
+
+Trains a small BOURNE detector, publishes it to a versioned model
+registry, stands up a :class:`ScoringService` over a mutable
+:class:`GraphStore`, and replays a synthetic labelled event stream
+(node arrivals, edge arrivals, feature drift), printing rolling
+anomaly rankings and how little work each incremental refresh did::
+
+    python examples/streaming_service.py
+
+Environment knobs: ``REPRO_SCALE`` (default 0.12), ``REPRO_EPOCHS``
+(default 15), ``REPRO_EVENTS`` (default 30).
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import BourneConfig, train_bourne
+from repro.datasets import load_benchmark
+from repro.eval import normalize_graph
+from repro.metrics import roc_auc_score
+from repro.serving import (
+    GraphStore,
+    ModelRegistry,
+    ScoringService,
+    StreamDriver,
+    synthetic_event_stream,
+)
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.12"))
+EPOCHS = int(os.environ.get("REPRO_EPOCHS", "15"))
+EVENTS = int(os.environ.get("REPRO_EVENTS", "30"))
+
+
+def main():
+    # 1. Train a detector on the initial graph and publish it.
+    graph = normalize_graph(load_benchmark("cora", seed=0, scale=SCALE))
+    print(f"seed graph: {graph}")
+    config = BourneConfig(hidden_dim=32, predictor_hidden=64,
+                          subgraph_size=8, epochs=EPOCHS, batch_size=256,
+                          eval_rounds=4, seed=0)
+    model, history = train_bourne(graph, config, verbose=False)
+    print(f"trained {config.epochs} epochs; "
+          f"loss {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
+
+    with tempfile.TemporaryDirectory() as registry_root:
+        registry = ModelRegistry(registry_root)
+        version = registry.publish(model, "cora-detector",
+                                   {"epochs": config.epochs})
+        print(f"published cora-detector v{version} to the registry")
+
+        # 2. Serve the graph from the registry checkpoint.
+        store = GraphStore.from_graph(graph,
+                                      influence_radius=config.hop_size)
+        service = ScoringService(registry.load("cora-detector"), store,
+                                 rounds=4)
+        warmup = service.refresh()
+        print(f"warm-up: scored all {warmup.num_rescored} nodes")
+
+        # 3. Replay a labelled event stream; refresh incrementally.
+        rng = np.random.default_rng(7)
+        events = synthetic_event_stream(graph, EVENTS, rng,
+                                        anomaly_prob=0.3)
+        driver = StreamDriver(service, top_k=5)
+        for snapshot in driver.replay(events, refresh_every=5):
+            print(f"event {snapshot.event_index:3d}: "
+                  f"{snapshot.num_nodes} nodes / {snapshot.num_edges} edges, "
+                  f"rescored {snapshot.rescored:3d} "
+                  f"({100 * snapshot.rescored_fraction:.1f}%), "
+                  f"top suspects {snapshot.top_nodes.tolist()}")
+
+        # 4. Detection quality on the final state (injected + streamed).
+        labels = store.node_labels
+        auc = roc_auc_score(labels, snapshot.scores)
+        print(f"rolling node AUC over {labels.sum()} anomalies: {auc:.4f}")
+        stats = service.stats()
+        print(f"service stats: {stats['nodes_scored']} node scores from "
+              f"{stats['forward_batches']} forward batches, "
+              f"cache hits/misses {stats['cache_hits']}/{stats['cache_misses']}")
+
+
+if __name__ == "__main__":
+    main()

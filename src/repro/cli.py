@@ -8,6 +8,11 @@ Commands
 ``score``
     Load a checkpoint and score a (re-generated) benchmark graph,
     writing per-node / per-edge scores as CSV.
+``serve``
+    Long-lived scoring service: load a checkpoint (directly or from a
+    model registry), build a mutable graph store, and answer JSONL
+    requests — score, add_node, add_edge, update_features, refresh,
+    stats — from stdin or a file.
 ``experiment``
     Run one of the paper's table/figure experiments.
 ``datasets``
@@ -55,6 +60,22 @@ def _build_parser() -> argparse.ArgumentParser:
     score.add_argument("--rounds", type=int, default=8)
     score.add_argument("--out", default="scores.csv",
                        help="CSV prefix; writes <out>.nodes.csv / <out>.edges.csv")
+
+    serve = commands.add_parser(
+        "serve", help="serve scores for a mutable graph over JSONL requests")
+    _add_common(serve)
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--model", help="checkpoint from `train --save`")
+    source.add_argument("--registry", help="model registry root directory")
+    serve.add_argument("--name", help="registry model name (with --registry)")
+    serve.add_argument("--model-version", type=int, default=None,
+                       help="registry version (default: latest)")
+    serve.add_argument("--rounds", type=int, default=8,
+                       help="evaluation rounds R per score")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="subgraph LRU capacity in (target, round) entries")
+    serve.add_argument("--input", default="-",
+                       help="JSONL request file ('-' for stdin)")
 
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="table2|table3|table4|table5|fig3..fig10|headline")
@@ -116,6 +137,94 @@ def _cmd_score(args) -> int:
     return 0
 
 
+def _serve_request(service, request: dict) -> dict:
+    """Dispatch one JSONL request against a :class:`ScoringService`."""
+    if not isinstance(request, dict):
+        raise ValueError(
+            f"request must be a JSON object, got {type(request).__name__}")
+    op = request.get("op")
+    store = service.store
+    if op == "score":
+        nodes = [int(n) for n in request["nodes"]]
+        scores = service.score_nodes(nodes)
+        return {"ok": True, "op": op,
+                "scores": {str(n): float(s) for n, s in zip(nodes, scores)}}
+    if op == "score_edge":
+        u, v = int(request["u"]), int(request["v"])
+        return {"ok": True, "op": op, "u": u, "v": v,
+                "score": service.score_edge(u, v)}
+    if op == "add_node":
+        features = np.asarray(request["features"], dtype=np.float64)
+        (node,) = store.add_nodes(features.reshape(1, -1))
+        return {"ok": True, "op": op, "node": int(node),
+                "version": store.version}
+    if op == "add_edge":
+        added = store.add_edge(int(request["u"]), int(request["v"]))
+        return {"ok": True, "op": op, "added": bool(added),
+                "version": store.version}
+    if op == "update_features":
+        features = np.asarray(request["features"], dtype=np.float64)
+        store.update_features([int(request["node"])], features.reshape(1, -1))
+        return {"ok": True, "op": op, "version": store.version}
+    if op == "refresh":
+        result = service.refresh()
+        order = np.argsort(result.scores)[::-1][:10]
+        return {"ok": True, "op": op, "rescored": result.num_rescored,
+                "num_nodes": len(result.scores),
+                "top_nodes": [int(n) for n in order]}
+    if op == "stats":
+        return {"ok": True, "op": op, "stats": service.stats()}
+    raise ValueError(f"unknown op {op!r}")
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from .core import load_model
+    from .datasets import load_benchmark
+    from .eval import normalize_graph
+    from .serving import GraphStore, ModelRegistry, ScoringService
+
+    if args.registry:
+        if not args.name:
+            raise SystemExit("--registry requires --name")
+        model = ModelRegistry(args.registry).load(args.name,
+                                                  args.model_version)
+    else:
+        model = load_model(args.model)
+    graph = normalize_graph(load_benchmark(args.dataset, seed=args.seed,
+                                           scale=args.scale))
+    if model.num_features != graph.num_features:
+        raise SystemExit(
+            f"checkpoint expects {model.num_features} features but "
+            f"{args.dataset}@{args.scale} has {graph.num_features}; "
+            "match --dataset/--scale/--seed with the training run")
+    store = GraphStore.from_graph(graph,
+                                  influence_radius=model.config.hop_size)
+    service = ScoringService(model, store, rounds=args.rounds,
+                             cache_size=args.cache_size)
+    print(json.dumps({"ok": True, "op": "ready",
+                      "num_nodes": store.num_nodes,
+                      "num_edges": store.num_edges}), flush=True)
+
+    source = sys.stdin if args.input == "-" else open(args.input)
+    try:
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                response = _serve_request(service, request)
+            except (ValueError, KeyError, IndexError, TypeError) as error:
+                response = {"ok": False, "error": str(error)}
+            print(json.dumps(response), flush=True)
+    finally:
+        if source is not sys.stdin:
+            source.close()
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from .eval.experiments import ALL_EXPERIMENTS
     from .eval.runner import get_profile
@@ -145,6 +254,7 @@ def main(argv=None) -> int:
     handler = {
         "train": _cmd_train,
         "score": _cmd_score,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "datasets": _cmd_datasets,
     }[args.command]

@@ -16,10 +16,15 @@ import numpy as np
 from .config import BourneConfig
 from .model import Bourne
 
+#: Current checkpoint layout version.  Version 1 checkpoints (written
+#: before the key existed) carry no ``__format_version__`` entry and
+#: load identically; bump this when the payload layout changes.
+FORMAT_VERSION = 2
+
 
 def save_model(model: Bourne, path: str) -> str:
     """Serialize ``model`` (parameters + config) to ``path`` (.npz)."""
-    payload = {}
+    payload = {"__format_version__": np.array([FORMAT_VERSION], dtype=np.int64)}
     for name, param in model.online.named_parameters():
         payload[f"online::{name}"] = param.data
     for name, param in model.target.named_parameters():
@@ -38,6 +43,15 @@ def save_model(model: Bourne, path: str) -> str:
 def load_model(path: str) -> Bourne:
     """Reconstruct a :class:`Bourne` model saved by :func:`save_model`."""
     archive = np.load(path, allow_pickle=False)
+    if "__format_version__" in archive.files:
+        format_version = int(archive["__format_version__"][0])
+    else:
+        format_version = 1
+    if format_version > FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint {path!r} uses format version {format_version}, but "
+            f"this build reads up to version {FORMAT_VERSION}; re-save the "
+            "model with a matching version of repro")
     config_json = bytes(archive["__config__"]).decode("utf-8")
     config_dict = json.loads(config_json)
     config = BourneConfig(**config_dict)

@@ -1,0 +1,93 @@
+"""Version-aware LRU cache of sampled enclosing subgraph views.
+
+Entries are keyed by ``(target, round)`` and tagged with the store
+version at sampling time.  Lookups pass the target's current
+``region_version``: an entry older than the last mutation affecting the
+target's neighbourhood is discarded on access (lazy invalidation), so
+the cache never serves a view the sampler would no longer produce.
+
+Because the serving layer derives the sampler RNG deterministically from
+``(seed, round, target)``, a *valid* cached view is bitwise identical to
+what re-sampling would return — cache hits change latency, never scores.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+
+@dataclass
+class CacheEntry:
+    """One cached (graph view, hypergraph view) pair for a target/round."""
+
+    graph_view: object
+    hyper_view: object           # may be None for degenerate targets
+    version: int                 # store.version at sampling time
+
+
+class SubgraphCache:
+    """Bounded LRU mapping ``(target, round) -> CacheEntry``."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key: Tuple[int, int],
+            region_version: int) -> Optional[CacheEntry]:
+        """Return a still-valid entry for ``key`` or ``None``.
+
+        ``region_version`` is the store's current region version for the
+        entry's target; entries sampled before that version are stale.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.version < region_version:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple[int, int], graph_view, hyper_view,
+            version: int) -> CacheEntry:
+        """Insert (or refresh) an entry; evicts LRU entries past capacity."""
+        entry = CacheEntry(graph_view, hyper_view, version)
+        if self.maxsize == 0:
+            return entry
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,157 @@
+"""Versioned model registry over ``.npz`` checkpoints.
+
+A :class:`ModelRegistry` manages a directory tree of published model
+versions::
+
+    <root>/<name>/manifest.json
+    <root>/<name>/v0001.npz
+    <root>/<name>/v0002.npz
+    ...
+
+``publish`` assigns monotonically increasing versions; ``load`` fetches
+a specific version or the latest.  The manifest records creation time
+and caller metadata so a serving deployment can audit what it runs.
+Hot-swapping a live service is ``service.swap_model(registry.load(name))``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import time
+from typing import Dict, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from ..core.model import Bourne
+from ..core.persistence import load_model, save_model
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_MANIFEST = "manifest.json"
+
+
+class ModelRegistry:
+    """Filesystem-backed store of named, versioned model checkpoints."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, model: Bourne, name: str,
+                metadata: Optional[Dict] = None) -> int:
+        """Save ``model`` as the next version of ``name``; returns it.
+
+        Version allocation and the manifest update run under an
+        exclusive per-name lock, so concurrent publishers (several
+        training jobs targeting one registry) cannot claim the same
+        version or drop each other's manifest entries.
+        """
+        self._check_name(name)
+        directory = os.path.join(self.root, name)
+        os.makedirs(directory, exist_ok=True)
+        with self._locked(directory):
+            manifest = self._read_manifest(name)
+            version = max((e["version"] for e in manifest["entries"]),
+                          default=0) + 1
+            filename = f"v{version:04d}.npz"
+            save_model(model, os.path.join(directory, filename))
+            manifest["entries"].append({
+                "version": version,
+                "file": filename,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+                "num_features": model.num_features,
+                "mode": model.config.mode,
+                "metadata": metadata or {},
+            })
+            self._write_manifest(name, manifest)
+        return version
+
+    @contextlib.contextmanager
+    def _locked(self, directory: str):
+        """Exclusive advisory lock on a model directory (POSIX flock;
+        a no-op where fcntl is unavailable)."""
+        if fcntl is None:
+            yield
+            return
+        with open(os.path.join(directory, ".lock"), "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def models(self) -> List[str]:
+        """Registered model names (sorted)."""
+        names = []
+        for entry in sorted(os.listdir(self.root)):
+            if os.path.isfile(os.path.join(self.root, entry, _MANIFEST)):
+                names.append(entry)
+        return names
+
+    def versions(self, name: str) -> List[int]:
+        """Published versions of ``name`` in increasing order."""
+        manifest = self._read_manifest(name, must_exist=True)
+        return sorted(e["version"] for e in manifest["entries"])
+
+    def latest(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"model {name!r} has no published versions")
+        return versions[-1]
+
+    def describe(self, name: str) -> List[Dict]:
+        """Manifest entries of ``name`` (version-sorted copies)."""
+        manifest = self._read_manifest(name, must_exist=True)
+        return sorted((dict(e) for e in manifest["entries"]),
+                      key=lambda e: e["version"])
+
+    def checkpoint_path(self, name: str, version: Optional[int] = None) -> str:
+        version = self.latest(name) if version is None else int(version)
+        for entry in self._read_manifest(name, must_exist=True)["entries"]:
+            if entry["version"] == version:
+                return os.path.join(self.root, name, entry["file"])
+        raise KeyError(f"model {name!r} has no version {version}")
+
+    def load(self, name: str, version: Optional[int] = None) -> Bourne:
+        """Load a published version (latest when unspecified)."""
+        return load_model(self.checkpoint_path(name, version))
+
+    # ------------------------------------------------------------------
+    # Manifest plumbing
+    # ------------------------------------------------------------------
+    def _check_name(self, name: str) -> None:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, "
+                "'.', '_' or '-' (must not start with a separator)")
+
+    def _manifest_path(self, name: str) -> str:
+        return os.path.join(self.root, name, _MANIFEST)
+
+    def _read_manifest(self, name: str, must_exist: bool = False) -> Dict:
+        self._check_name(name)
+        path = self._manifest_path(name)
+        if not os.path.exists(path):
+            if must_exist:
+                raise KeyError(f"model {name!r} not in registry at {self.root}")
+            return {"name": name, "entries": []}
+        with open(path) as handle:
+            return json.load(handle)
+
+    def _write_manifest(self, name: str, manifest: Dict) -> None:
+        path = self._manifest_path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)

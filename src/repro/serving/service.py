@@ -1,0 +1,381 @@
+"""Online scoring service: micro-batched, cached, incrementally refreshed.
+
+:class:`ScoringService` turns a trained :class:`repro.core.Bourne`
+checkpoint into a long-lived scorer over a mutable
+:class:`~repro.serving.store.GraphStore`:
+
+* **Micro-batching** — score requests are enqueued and resolved by a
+  single ``forward_batch`` call per evaluation round at ``flush()``
+  time, so concurrent requests share the block-diagonal sparse matmuls
+  instead of paying one forward pass each.
+* **Deterministic per-target sampling** — unlike the offline
+  :func:`repro.core.score_graph`, which threads one RNG through every
+  target sequentially, the service derives the sampler RNG from
+  ``(seed, round, target)``.  A node's score therefore never depends on
+  which other requests happened to share its batch or on the mutation
+  history that produced the store — the property the
+  serving-equivalence tests pin down bitwise.
+* **Subgraph caching** — sampled views are kept in a version-aware LRU
+  (:class:`~repro.serving.cache.SubgraphCache`); the store's
+  dirty-region tracking invalidates exactly the neighbourhoods a
+  mutation could have changed.
+* **Incremental refresh** — :meth:`refresh` maintains a full score
+  table and re-scores only nodes whose region changed since they were
+  last scored, which is what makes per-mutation rescoring cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.model import Bourne
+from ..core.views import (
+    batch_graph_views,
+    batch_hypergraph_views,
+    build_graph_view,
+    build_hypergraph_view,
+)
+from ..graph.graph import Graph
+from ..graph.sampling import sample_enclosing_subgraph
+from .cache import SubgraphCache
+from .store import GraphStore
+
+#: Offset keeping serving RNG streams disjoint from training draws
+#: (same constant the offline scorer uses).
+_SEED_OFFSET = 104729
+
+#: Sampling-relevant config fields; a hot-swapped model with identical
+#: values (and an unchanged serving seed) can keep the warm subgraph
+#: cache — views depend on topology and these knobs only, never weights.
+_SAMPLING_FIELDS = ("hop_size", "subgraph_size", "feature_mask_prob",
+                    "incidence_drop_prob", "augment_at_inference")
+
+
+class PendingScore:
+    """Handle for an enqueued request; resolved by ``flush()``."""
+
+    __slots__ = ("node", "_value")
+
+    def __init__(self, node: int):
+        self.node = node
+        self._value: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self._value is not None
+
+    def result(self) -> float:
+        if self._value is None:
+            raise RuntimeError(
+                f"score for node {self.node} not computed yet; "
+                "call ScoringService.flush() first")
+        return self._value
+
+
+@dataclass
+class RefreshResult:
+    """Outcome of one incremental refresh pass."""
+
+    scores: np.ndarray          # (N,) current score table
+    rescored: np.ndarray        # node ids actually recomputed this pass
+    version: int                # store version the table now reflects
+
+    @property
+    def num_rescored(self) -> int:
+        return len(self.rescored)
+
+
+class ScoringService:
+    """Serve anomaly scores for a mutable graph from a trained model.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`Bourne`; must be a node-scoring mode
+        (``unified`` or ``node_only``).
+    store:
+        The mutable graph; a plain :class:`Graph` is wrapped
+        automatically.
+    rounds:
+        Evaluation rounds ``R`` per score (default: model config).
+    seed:
+        Base seed of the serving RNG streams (default: model seed +
+        the inference offset, mirroring the offline scorer).
+    cache_size:
+        Capacity of the subgraph LRU in ``(target, round)`` entries.
+    max_batch:
+        Micro-batch cap per forward call (default: model batch size).
+    """
+
+    def __init__(
+        self,
+        model: Bourne,
+        store,
+        rounds: Optional[int] = None,
+        seed: Optional[int] = None,
+        cache_size: int = 4096,
+        max_batch: Optional[int] = None,
+    ):
+        if isinstance(store, Graph):
+            store = GraphStore.from_graph(
+                store, influence_radius=max(2, model.config.hop_size))
+        self.store: GraphStore = store
+        self.model = model
+        self._check_model(model)
+        cfg = model.config
+        self.rounds = rounds if rounds is not None else cfg.eval_rounds
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self._explicit_seed = seed is not None
+        self.seed = (cfg.seed + _SEED_OFFSET) if seed is None else seed
+        self.max_batch = max_batch if max_batch is not None else cfg.batch_size
+        self.cache = SubgraphCache(cache_size)
+        model.eval_mode()
+
+        self._node_table: Dict[int, Tuple[float, int]] = {}
+        self._edge_table: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        self._pending: Dict[int, PendingScore] = {}
+        self._requests = 0
+        self._flushes = 0
+        self._forward_batches = 0
+        self._nodes_scored = 0
+        self._table_hits = 0
+
+    def _check_model(self, model: Bourne) -> None:
+        cfg = model.config
+        if cfg.mode == "edge_only":
+            raise ValueError(
+                "ScoringService requires a node-scoring mode "
+                "('unified' or 'node_only'); got mode='edge_only'")
+        if model.num_features != self.store.num_features:
+            raise ValueError(
+                f"model expects {model.num_features} features but the "
+                f"store has {self.store.num_features}")
+        if self.store.influence_radius < cfg.hop_size:
+            raise ValueError(
+                f"store influence_radius={self.store.influence_radius} is "
+                f"smaller than the model hop_size={cfg.hop_size}; dirty "
+                "regions would under-invalidate the subgraph cache")
+
+    # ------------------------------------------------------------------
+    # RNG streams (deterministic, batch-independent)
+    # ------------------------------------------------------------------
+    def _sample_rng(self, target: int, round_index: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, 0, round_index, int(target)))
+
+    def _forward_rng(self, round_index: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, 1, round_index))
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def enqueue(self, node: int) -> PendingScore:
+        """Register a score request; duplicates share one handle."""
+        node = int(node)
+        if not 0 <= node < self.store.num_nodes:
+            raise IndexError(f"node {node} not in store "
+                             f"(num_nodes={self.store.num_nodes})")
+        self._requests += 1
+        handle = self._pending.get(node)
+        if handle is None:
+            handle = PendingScore(node)
+            self._pending[node] = handle
+        return handle
+
+    def flush(self) -> int:
+        """Resolve all pending requests with micro-batched forwards.
+
+        Requests whose table entry is still fresh are answered from the
+        score table; the rest are recomputed in shared batches.  Returns
+        the number of nodes actually recomputed.
+        """
+        if not self._pending:
+            return 0
+        self._flushes += 1
+        pending = self._pending
+        self._pending = {}
+        stale: List[int] = []
+        for node, handle in pending.items():
+            cached = self._node_table.get(node)
+            if cached is not None and cached[1] >= self.store.region_version(node):
+                handle._value = cached[0]
+                self._table_hits += 1
+            else:
+                stale.append(node)
+        if stale:
+            targets = np.asarray(stale, dtype=np.int64)
+            scores = self._score_targets(targets)
+            for node, score in zip(stale, scores):
+                self._node_table[node] = (float(score), self.store.version)
+                pending[node]._value = float(score)
+        return len(stale)
+
+    def score_node(self, node: int) -> float:
+        handle = self.enqueue(node)
+        self.flush()
+        return handle.result()
+
+    def score_nodes(self, nodes: Sequence[int],
+                    _force: bool = False) -> np.ndarray:
+        """Score ``nodes`` in one micro-batched pass.
+
+        ``_force`` drops fresh table entries first so the forward passes
+        actually run (edge scoring needs the evidence they produce).
+        """
+        handles = [self.enqueue(n) for n in nodes]
+        if _force:
+            for handle in handles:
+                self._node_table.pop(handle.node, None)
+        self.flush()
+        return np.asarray([h.result() for h in handles])
+
+    def score_edge(self, u: int, v: int) -> float:
+        """Score edge ``(u, v)`` from target-edge evidence.
+
+        Evidence accumulates whenever an endpoint is scored; if the
+        sampler never realized the edge in any round (possible for
+        high-degree endpoints), the endpoint mean is returned instead,
+        matching the offline scorer's imputation of unsampled edges.
+        """
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        if not self.store.has_edge(*key):
+            raise KeyError(f"edge {key} not in store")
+        needed = max(self.store.region_version(key[0]),
+                     self.store.region_version(key[1]))
+        cached = self._edge_table.get(key)
+        if cached is not None and cached[1] >= needed:
+            return cached[0]
+        endpoint_scores = self.score_nodes(
+            [key[0], key[1]], _force=True)
+        cached = self._edge_table.get(key)
+        if cached is not None and cached[1] >= needed:
+            return cached[0]
+        # Never sampled: impute from the endpoints.
+        score = float(endpoint_scores.mean())
+        self._edge_table[key] = (score, self.store.version)
+        return score
+
+    # ------------------------------------------------------------------
+    # Incremental refresh
+    # ------------------------------------------------------------------
+    def refresh(self) -> RefreshResult:
+        """Bring the full score table up to date, re-scoring only nodes
+        whose neighbourhood changed since their last score."""
+        n = self.store.num_nodes
+        stale = [node for node in range(n)
+                 if (entry := self._node_table.get(node)) is None
+                 or entry[1] < self.store.region_version(node)]
+        if stale:
+            targets = np.asarray(stale, dtype=np.int64)
+            scores = self._score_targets(targets)
+            version = self.store.version
+            for node, score in zip(stale, scores):
+                self._node_table[node] = (float(score), version)
+        table = np.asarray([self._node_table[node][0] for node in range(n)])
+        return RefreshResult(scores=table,
+                             rescored=np.asarray(stale, dtype=np.int64),
+                             version=self.store.version)
+
+    # ------------------------------------------------------------------
+    # Model hot-swap
+    # ------------------------------------------------------------------
+    def swap_model(self, model: Bourne) -> None:
+        """Replace the served model in place.
+
+        Score tables are dropped (different weights, different scores);
+        the subgraph cache survives when the sampling-relevant config is
+        unchanged, so a hot-swap starts warm.
+        """
+        self._check_model(model)
+        old_cfg, new_cfg = self.model.config, model.config
+        new_seed = (self.seed if self._explicit_seed
+                    else new_cfg.seed + _SEED_OFFSET)
+        same_sampling = new_seed == self.seed and all(
+            getattr(old_cfg, f) == getattr(new_cfg, f)
+            for f in _SAMPLING_FIELDS)
+        if not same_sampling:
+            self.cache.clear()
+        self.seed = new_seed
+        self.model = model
+        model.eval_mode()
+        self._node_table.clear()
+        self._edge_table.clear()
+
+    # ------------------------------------------------------------------
+    # Scoring internals
+    # ------------------------------------------------------------------
+    def _score_targets(self, targets: np.ndarray) -> np.ndarray:
+        """Mean score over ``rounds`` forward passes for ``targets``."""
+        sums = np.zeros(len(targets))
+        edge_sums: Dict[int, float] = {}
+        edge_counts: Dict[int, int] = {}
+        for round_index in range(self.rounds):
+            for start in range(0, len(targets), self.max_batch):
+                chunk = targets[start:start + self.max_batch]
+                graph_views, hyper_views = [], []
+                for target in chunk:
+                    entry = self._get_views(int(target), round_index)
+                    graph_views.append(entry.graph_view)
+                    hyper_views.append(entry.hyper_view)
+                batched_g = batch_graph_views(graph_views)
+                batched_h = batch_hypergraph_views(hyper_views,
+                                                   self.store.num_features)
+                # Fresh per-round stream for every forward call: the
+                # node_only mask is its first draw, so every micro-batch
+                # of a round applies the identical mask.
+                scores = self.model.forward_batch(
+                    batched_g, batched_h, rng=self._forward_rng(round_index))
+                self._forward_batches += 1
+                sums[start:start + len(chunk)] += scores.node_scores.data
+                if scores.edge_scores is not None and len(scores.edge_orig_ids):
+                    values = scores.edge_scores.data
+                    for eid, value in zip(scores.edge_orig_ids, values):
+                        eid = int(eid)
+                        edge_sums[eid] = edge_sums.get(eid, 0.0) + float(value)
+                        edge_counts[eid] = edge_counts.get(eid, 0) + 1
+        version = self.store.version
+        for eid, total in edge_sums.items():
+            key = self.store.edge_key(eid)
+            self._edge_table[key] = (total / edge_counts[eid], version)
+        self._nodes_scored += len(targets)
+        return sums / self.rounds
+
+    def _get_views(self, target: int, round_index: int):
+        key = (target, round_index)
+        entry = self.cache.get(key, self.store.region_version(target))
+        if entry is None:
+            cfg = self.model.config
+            rng = self._sample_rng(target, round_index)
+            sub = sample_enclosing_subgraph(
+                self.store, target, k=cfg.hop_size,
+                size=cfg.subgraph_size, rng=rng)
+            graph_view = build_graph_view(sub)
+            hyper_view = build_hypergraph_view(
+                sub, rng,
+                feature_mask_prob=cfg.feature_mask_prob,
+                incidence_drop_prob=cfg.incidence_drop_prob,
+                augment=cfg.augment_at_inference)
+            entry = self.cache.put(key, graph_view, hyper_view,
+                                   self.store.version)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters for monitoring and tests."""
+        stats = {
+            "requests": self._requests,
+            "flushes": self._flushes,
+            "forward_batches": self._forward_batches,
+            "nodes_scored": self._nodes_scored,
+            "table_hits": self._table_hits,
+            "table_size": len(self._node_table),
+            "store_version": self.store.version,
+            "rounds": self.rounds,
+        }
+        stats.update({f"cache_{k}": v for k, v in self.cache.stats().items()})
+        return stats

@@ -1,0 +1,294 @@
+"""Mutable graph store for online serving.
+
+A :class:`GraphStore` is the serving-side counterpart of the immutable
+:class:`repro.graph.Graph`: it supports ``add_nodes`` / ``add_edges`` /
+``update_features`` between score requests, maintains per-node sorted
+adjacency incrementally (no full rebuild per mutation), and tracks which
+*regions* of the graph a mutation can influence so the scoring layer
+only re-samples neighbourhoods that actually changed.
+
+The store implements the sampler protocol used by
+:func:`repro.graph.sampling.sample_enclosing_subgraph` — ``features``,
+``neighbors`` (sorted ascending, exactly like ``Graph``'s CSR rows), and
+``_build_edge_index`` — so a store and a freshly built ``Graph`` with the
+same topology drive the sampler through *identical* random draws.  That
+is the invariant the serving-equivalence tests pin down to the bit.
+
+Dirty-region tracking
+---------------------
+Every mutation bumps ``version``.  A mutation that touches node ``w``
+can change the sampled enclosing subgraph of any target within
+``influence_radius`` hops of ``w`` (the sampler's candidate pool has hop
+radius ``k``, so ``influence_radius`` must be ≥ the model's ``hop_size``):
+the store walks that ball once per mutation and records
+``region_version[t] = version`` for each node ``t`` inside it.  A cached
+artifact for target ``t`` computed at version ``v`` is stale iff
+``region_version(t) > v``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+
+class GraphStore:
+    """Mutable attributed graph with version/dirty-region bookkeeping.
+
+    Parameters
+    ----------
+    features:
+        Initial node feature matrix ``(N, D)``.
+    edges:
+        Optional initial edge array ``(M, 2)``; deduplicated and stored
+        with canonical ``u < v`` endpoints.
+    node_labels:
+        Optional binary anomaly labels carried through to snapshots
+        (streaming evaluation uses them; scoring never reads them).
+    influence_radius:
+        Hop radius of the region a mutation invalidates.  Must be at
+        least the ``hop_size`` of any model served against this store.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        edges: Optional[np.ndarray] = None,
+        node_labels: Optional[np.ndarray] = None,
+        name: str = "stream",
+        influence_radius: int = 2,
+    ):
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if influence_radius < 1:
+            raise ValueError("influence_radius must be >= 1")
+        self.name = name
+        self.influence_radius = int(influence_radius)
+        self._dim = features.shape[1]
+        self._num_nodes = 0
+        self._features = np.zeros((0, self._dim))
+        self._node_labels: List[int] = []
+        self._adj: List[np.ndarray] = []
+        self._edge_list: List[Tuple[int, int]] = []
+        self._edge_labels: List[int] = []
+        self._edge_index: Dict[Tuple[int, int], int] = {}
+
+        #: Monotone mutation counter; 0 for a freshly constructed store.
+        self.version = 0
+        self._region_version = np.zeros(0, dtype=np.int64)
+
+        if features.shape[0]:
+            self._append_nodes(features, node_labels)
+        if edges is not None and len(edges):
+            self._insert_edges(np.asarray(edges), None)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, influence_radius: int = 2) -> "GraphStore":
+        """Wrap an existing :class:`Graph` (labels included) in a store."""
+        store = cls(graph.features, graph.edges, node_labels=graph.node_labels,
+                    name=graph.name, influence_radius=influence_radius)
+        store._edge_labels = [int(l) for l in graph.edge_labels]
+        return store
+
+    # ------------------------------------------------------------------
+    # Sampler protocol (matches Graph)
+    # ------------------------------------------------------------------
+    @property
+    def features(self) -> np.ndarray:
+        """Node feature matrix ``(N, D)`` (live view; do not mutate)."""
+        return self._features[: self._num_nodes]
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_list)
+
+    @property
+    def num_features(self) -> int:
+        return self._dim
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted 1-hop neighbours — same order as ``Graph.neighbors``."""
+        return self._adj[node]
+
+    def _build_edge_index(self) -> Dict[Tuple[int, int], int]:
+        """Live ``(u, v) -> edge id`` map (ids are insertion order)."""
+        return self._edge_index
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (min(u, v), max(u, v)) in self._edge_index
+
+    def edge_id(self, u: int, v: int) -> int:
+        key = (min(u, v), max(u, v))
+        if key not in self._edge_index:
+            raise KeyError(f"edge {key} not in store")
+        return self._edge_index[key]
+
+    def edge_key(self, edge_id: int) -> Tuple[int, int]:
+        """Canonical ``(u, v)`` endpoints of a store edge id."""
+        return self._edge_list[edge_id]
+
+    @property
+    def node_labels(self) -> np.ndarray:
+        return np.asarray(self._node_labels, dtype=np.int64)
+
+    def set_node_label(self, node: int, label: int) -> None:
+        """Annotate a node's anomaly label (evaluation only — labels
+        never feed scoring, so no region is dirtied)."""
+        self._node_labels[node] = int(label)
+
+    def __repr__(self) -> str:
+        return (f"GraphStore(name={self.name!r}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges}, version={self.version})")
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_nodes(self, features: np.ndarray,
+                  labels: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Append isolated nodes; returns their new ids."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.shape[1] != self._dim:
+            raise ValueError(
+                f"expected {self._dim} features per node, got {features.shape[1]}")
+        self.version += 1
+        return self._append_nodes(features, labels)
+
+    def add_edges(self, edges: np.ndarray,
+                  labels: Optional[Iterable[int]] = None) -> int:
+        """Insert edges (canonicalized, duplicates skipped); returns the
+        number actually added.  Bumps the region version of every node
+        within ``influence_radius`` hops of a new edge's endpoints."""
+        edges = np.atleast_2d(np.asarray(edges, dtype=np.int64))
+        if edges.size == 0:
+            return 0
+        if edges.shape[1] != 2:
+            raise ValueError(f"edges must have shape (M, 2), got {edges.shape}")
+        self.version += 1
+        return self._insert_edges(edges, labels)
+
+    def add_edge(self, u: int, v: int, label: int = 0) -> bool:
+        """Insert one edge; returns whether it was new."""
+        return self.add_edges(np.array([[u, v]]), labels=[label]) == 1
+
+    def update_features(self, nodes, features: np.ndarray) -> None:
+        """Overwrite feature rows; dirties the surrounding region."""
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.shape != (len(nodes), self._dim):
+            raise ValueError(
+                f"features must have shape ({len(nodes)}, {self._dim}), "
+                f"got {features.shape}")
+        if len(nodes) and (nodes.min() < 0 or nodes.max() >= self._num_nodes):
+            raise IndexError("node id out of range")
+        self.version += 1
+        self._features[nodes] = features
+        self._touch_region(nodes)
+
+    # ------------------------------------------------------------------
+    # Dirty-region bookkeeping
+    # ------------------------------------------------------------------
+    def region_version(self, node: int) -> int:
+        """Version of the last mutation that could affect ``node``'s
+        sampled enclosing subgraph."""
+        return int(self._region_version[node])
+
+    def dirty_nodes(self, since_version: int) -> np.ndarray:
+        """Nodes whose region changed strictly after ``since_version``."""
+        live = self._region_version[: self._num_nodes]
+        return np.where(live > since_version)[0].astype(np.int64)
+
+    def _touch_region(self, seeds: np.ndarray) -> None:
+        """Bump region_version over the ``influence_radius``-hop ball
+        around ``seeds`` (computed on the *current* adjacency)."""
+        seen = {int(s) for s in seeds}
+        frontier = deque((int(s), 0) for s in seeds)
+        while frontier:
+            current, depth = frontier.popleft()
+            if depth == self.influence_radius:
+                continue
+            for neighbor in self._adj[current]:
+                neighbor = int(neighbor)
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append((neighbor, depth + 1))
+        self._region_version[list(seen)] = self.version
+
+    # ------------------------------------------------------------------
+    # Internal mutation plumbing
+    # ------------------------------------------------------------------
+    def _append_nodes(self, features: np.ndarray, labels) -> np.ndarray:
+        count = features.shape[0]
+        start = self._num_nodes
+        capacity = self._features.shape[0]
+        if start + count > capacity:
+            new_capacity = max(start + count, 2 * capacity, 16)
+            grown = np.zeros((new_capacity, self._dim))
+            grown[:start] = self._features[:start]
+            self._features = grown
+            grown_versions = np.zeros(new_capacity, dtype=np.int64)
+            grown_versions[:start] = self._region_version[:start]
+            self._region_version = grown_versions
+        self._features[start:start + count] = features
+        if labels is None:
+            self._node_labels.extend([0] * count)
+        else:
+            labels = [int(l) for l in labels]
+            if len(labels) != count:
+                raise ValueError("labels length must match number of new nodes")
+            self._node_labels.extend(labels)
+        empty = np.zeros(0, dtype=np.int64)
+        self._adj.extend(empty for _ in range(count))
+        self._region_version[start:start + count] = self.version
+        self._num_nodes = start + count
+        return np.arange(start, start + count, dtype=np.int64)
+
+    def _insert_edges(self, edges: np.ndarray, labels) -> int:
+        if edges.min(initial=0) < 0 or edges.max(initial=-1) >= self._num_nodes:
+            raise IndexError("edge endpoint out of range")
+        if (edges[:, 0] == edges[:, 1]).any():
+            raise ValueError("self-loops are not allowed")
+        labels = list(labels) if labels is not None else [0] * len(edges)
+        if len(labels) != len(edges):
+            raise ValueError("labels length must match number of edges")
+        touched: List[int] = []
+        added = 0
+        for (u, v), label in zip(edges, labels):
+            key = (int(min(u, v)), int(max(u, v)))
+            if key in self._edge_index:
+                continue
+            self._edge_index[key] = len(self._edge_list)
+            self._edge_list.append(key)
+            self._edge_labels.append(int(label))
+            lo, hi = key
+            self._adj[lo] = np.insert(
+                self._adj[lo], np.searchsorted(self._adj[lo], hi), hi)
+            self._adj[hi] = np.insert(
+                self._adj[hi], np.searchsorted(self._adj[hi], lo), lo)
+            touched.extend(key)
+            added += 1
+        if touched:
+            self._touch_region(np.asarray(touched, dtype=np.int64))
+        return added
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Graph:
+        """An immutable :class:`Graph` copy of the current state
+        (canonical edge order; labels carried over)."""
+        edges = (np.asarray(self._edge_list, dtype=np.int64).reshape(-1, 2)
+                 if self._edge_list else np.zeros((0, 2), dtype=np.int64))
+        edge_labels = (np.asarray(self._edge_labels, dtype=np.int64)
+                       if self._edge_list else None)
+        return Graph(self.features.copy(), edges,
+                     node_labels=self.node_labels,
+                     edge_labels=edge_labels, name=self.name)

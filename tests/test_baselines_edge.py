@@ -7,7 +7,7 @@ from repro.baselines import AANE, EDGE_BASELINES, GAE, UGED
 from repro.baselines.base import sample_negative_edges
 from repro.metrics import roc_auc_score
 
-from .conftest import make_planted_graph
+from conftest import make_planted_graph
 
 
 @pytest.fixture(scope="module")

@@ -16,7 +16,7 @@ from repro.baselines import (
 from repro.baselines.anomalous import cur_column_selection
 from repro.metrics import roc_auc_score
 
-from .conftest import make_planted_graph
+from conftest import make_planted_graph
 
 
 @pytest.fixture(scope="module")

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import numpy as np
@@ -57,6 +58,66 @@ class TestScoreCommand:
         with pytest.raises(SystemExit):
             main(["score", "--dataset", "cora", "--scale", "0.12",
                   "--model", checkpoint])
+
+
+class TestServeCommand:
+    def _train_checkpoint(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "model.npz")
+        main(["train", "--dataset", "cora", "--scale", "0.08",
+              "--epochs", "1", "--hidden", "16", "--subgraph-size", "4",
+              "--rounds", "1", "--save", checkpoint])
+        capsys.readouterr()
+        return checkpoint
+
+    def test_jsonl_session(self, tmp_path, capsys):
+        checkpoint = self._train_checkpoint(tmp_path, capsys)
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join([
+            json.dumps({"op": "score", "nodes": [0, 1, 2]}),
+            json.dumps({"op": "add_edge", "u": 0, "v": 5}),
+            json.dumps({"op": "score", "nodes": [0]}),
+            json.dumps({"op": "refresh"}),
+            json.dumps({"op": "bogus"}),
+            json.dumps([1, 2]),          # valid JSON, not an object
+            json.dumps({"op": "stats"}),
+        ]))
+        code = main(["serve", "--model", checkpoint, "--dataset", "cora",
+                     "--scale", "0.08", "--rounds", "1",
+                     "--input", str(requests)])
+        assert code == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert lines[0]["op"] == "ready" and lines[0]["num_nodes"] > 0
+        score_line = lines[1]
+        assert score_line["ok"] and set(score_line["scores"]) == {"0", "1", "2"}
+        assert lines[2]["added"] is True
+        assert lines[4]["rescored"] > 0
+        assert lines[5]["ok"] is False  # unknown op reported, not fatal
+        assert lines[6]["ok"] is False  # non-object JSON reported, not fatal
+        assert lines[7]["stats"]["requests"] >= 4
+
+    def test_registry_source(self, tmp_path, capsys):
+        from repro.core import load_model
+        from repro.serving import ModelRegistry
+
+        checkpoint = self._train_checkpoint(tmp_path, capsys)
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        registry.publish(load_model(checkpoint), "cora-detector")
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(json.dumps({"op": "score", "nodes": [3]}) + "\n")
+        code = main(["serve", "--registry", str(tmp_path / "registry"),
+                     "--name", "cora-detector", "--dataset", "cora",
+                     "--scale", "0.08", "--rounds", "1",
+                     "--input", str(requests)])
+        assert code == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert lines[1]["ok"] and "3" in lines[1]["scores"]
+
+    def test_registry_requires_name(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--registry", str(tmp_path), "--dataset", "cora",
+                  "--input", os.devnull])
 
 
 class TestExperimentCommand:

@@ -17,7 +17,7 @@ from repro.core import (
 from repro.nn import SAGEConv
 from repro.tensor import Tensor
 
-from .conftest import make_planted_graph
+from conftest import make_planted_graph
 
 FAST = dict(hidden_dim=16, predictor_hidden=32, subgraph_size=5,
             batch_size=64, eval_rounds=2, seed=0)

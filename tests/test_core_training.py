@@ -12,7 +12,7 @@ from repro.core import (
 )
 from repro.metrics import roc_auc_score
 
-from .conftest import make_planted_graph
+from conftest import make_planted_graph
 
 
 @pytest.fixture(scope="module")

@@ -7,6 +7,7 @@ import sys
 import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
 
 TINY_ENV = {
     "REPRO_SCALE": "0.08",
@@ -17,6 +18,10 @@ TINY_ENV = {
 
 def run_example(name, extra_env=None, timeout=420):
     env = dict(os.environ)
+    # pytest's `pythonpath` ini option only extends this process's
+    # sys.path; the example subprocess needs src/ on PYTHONPATH itself.
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
     env.update(TINY_ENV)
     if extra_env:
         env.update(extra_env)
@@ -33,6 +38,14 @@ def test_quickstart_runs():
     assert "node anomaly detection" in out
     assert "edge anomaly detection" in out
     assert "top-10 suspicious nodes" in out
+
+
+def test_streaming_service_runs():
+    out = run_example("streaming_service.py",
+                      {"REPRO_SCALE": "0.08", "REPRO_EVENTS": "8"})
+    assert "published cora-detector v1" in out
+    assert "rolling node AUC" in out
+    assert "rescored" in out
 
 
 def test_fraud_detection_runs():

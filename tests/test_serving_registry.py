@@ -1,0 +1,106 @@
+"""Tests for the model registry and checkpoint format versioning."""
+
+import numpy as np
+import pytest
+
+from repro.core import Bourne, BourneConfig, load_model, save_model
+from repro.core.persistence import FORMAT_VERSION
+from repro.serving import GraphStore, ModelRegistry, ScoringService
+
+
+def tiny_model(seed=0):
+    return Bourne(5, BourneConfig(hidden_dim=8, predictor_hidden=16,
+                                  subgraph_size=4, eval_rounds=2, seed=seed))
+
+
+def assert_same_parameters(left, right):
+    left_params = dict(left.online.named_parameters())
+    right_params = dict(right.online.named_parameters())
+    assert left_params.keys() == right_params.keys()
+    for name, param in left_params.items():
+        np.testing.assert_array_equal(param.data, right_params[name].data)
+
+
+class TestRegistryRoundTrip:
+    def test_publish_list_load(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "models"))
+        first = tiny_model(seed=1)
+        second = tiny_model(seed=2)
+        assert registry.publish(first, "bourne", {"auc": 0.9}) == 1
+        assert registry.publish(second, "bourne") == 2
+
+        assert registry.models() == ["bourne"]
+        assert registry.versions("bourne") == [1, 2]
+        assert registry.latest("bourne") == 2
+
+        loaded_latest = registry.load("bourne")
+        assert_same_parameters(loaded_latest, second)
+        loaded_first = registry.load("bourne", version=1)
+        assert_same_parameters(loaded_first, first)
+
+        described = registry.describe("bourne")
+        assert described[0]["metadata"] == {"auc": 0.9}
+        assert described[0]["num_features"] == 5
+
+    def test_two_names_coexist(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        registry.publish(tiny_model(), "alpha")
+        registry.publish(tiny_model(), "beta")
+        assert registry.models() == ["alpha", "beta"]
+        assert registry.versions("alpha") == [1]
+
+    def test_unknown_name_and_version(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        with pytest.raises(KeyError):
+            registry.load("ghost")
+        registry.publish(tiny_model(), "real")
+        with pytest.raises(KeyError):
+            registry.load("real", version=7)
+
+    def test_invalid_names_rejected(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        for bad in ("../escape", "", "a/b", ".hidden"):
+            with pytest.raises((ValueError, KeyError)):
+                registry.publish(tiny_model(), bad)
+
+    def test_hot_swap_from_registry(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        registry.publish(tiny_model(seed=1), "served")
+        store = GraphStore(np.random.default_rng(0).normal(size=(12, 5)))
+        store.add_edges(np.array([[i, i + 1] for i in range(11)]))
+        service = ScoringService(registry.load("served"), store, rounds=1)
+        before = service.score_nodes(range(12))
+
+        retrained = tiny_model(seed=1)
+        for param in retrained.online.parameters():
+            param.data = param.data + 0.05
+        registry.publish(retrained, "served")
+        service.swap_model(registry.load("served"))
+        after = service.score_nodes(range(12))
+        assert not np.array_equal(before, after)
+
+
+class TestFormatVersion:
+    def test_checkpoint_records_current_version(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_model(tiny_model(), path)
+        archive = np.load(path, allow_pickle=False)
+        assert int(archive["__format_version__"][0]) == FORMAT_VERSION
+
+    def test_legacy_checkpoint_without_version_loads(self, tmp_path):
+        path = str(tmp_path / "legacy.npz")
+        save_model(tiny_model(seed=4), path)
+        archive = dict(np.load(path, allow_pickle=False))
+        del archive["__format_version__"]
+        np.savez(path, **archive)
+        loaded = load_model(path)
+        assert_same_parameters(loaded, tiny_model(seed=4))
+
+    def test_future_version_raises_clear_error(self, tmp_path):
+        path = str(tmp_path / "future.npz")
+        save_model(tiny_model(), path)
+        archive = dict(np.load(path, allow_pickle=False))
+        archive["__format_version__"] = np.array([FORMAT_VERSION + 5])
+        np.savez(path, **archive)
+        with pytest.raises(ValueError, match="format version"):
+            load_model(path)
