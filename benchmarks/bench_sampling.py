@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Sampling throughput: per-target hot loop vs. vectorized batch path.
+
+Times three things on a generated graph and writes the results to
+``BENCH_sampling.json`` (machine-readable, for the perf trajectory):
+
+1. raw sampling — ``sample_enclosing_subgraph`` looped over every node
+   vs. one ``sample_enclosing_subgraphs`` call;
+2. end-to-end ``score_graph`` — ``sampler="per_target"`` vs. the
+   default ``sampler="batched"``;
+3. RWR view construction — the CoLA/SL-GAD ``build_rwr_batch`` (now on
+   the batch path) for reference.
+
+Run standalone::
+
+    python benchmarks/bench_sampling.py
+
+Environment knobs: ``REPRO_BENCH_NODES`` (default 400),
+``REPRO_BENCH_EDGES`` (default 1200), ``REPRO_BENCH_ROUNDS``
+(default 2), ``REPRO_BENCH_REPEATS`` (default 3).  The acceptance bar
+(end-to-end ``score_graph`` speedup >= 3x) is asserted at exit.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "..", "src"))
+
+import numpy as np
+
+from repro.baselines.subgraph_views import build_rwr_batch
+from repro.core import Bourne, BourneConfig, score_graph
+from repro.graph import (
+    Graph,
+    derive_target_seeds,
+    sample_enclosing_subgraph,
+    sample_enclosing_subgraphs,
+)
+
+NODES = int(os.environ.get("REPRO_BENCH_NODES", "400"))
+EDGES = int(os.environ.get("REPRO_BENCH_EDGES", "1200"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+FEATURES = 16
+SUBGRAPH_SIZE = 8
+TARGET_SPEEDUP = 3.0
+OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "..", "BENCH_sampling.json")
+
+
+def generated_graph(seed=0):
+    """Power-law-flavoured random graph: half the endpoints are drawn
+    from a small hub set so the benchmark exercises both the rich
+    (1-hop choice) and poor (k-hop pool) sampler branches."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    hubs = rng.integers(0, max(NODES // 20, 2), size=EDGES)
+    while len(edges) < EDGES:
+        u = int(rng.integers(0, NODES))
+        v = int(hubs[len(edges) % len(hubs)]) if rng.random() < 0.5 \
+            else int(rng.integers(0, NODES))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(rng.normal(size=(NODES, FEATURES)),
+                 np.array(sorted(edges)), name="bench-sampling")
+
+
+def best_of(repeats, fn):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def main() -> int:
+    graph = generated_graph()
+    print(f"benchmark graph: {graph}")
+    targets = np.arange(graph.num_nodes)
+    seeds = derive_target_seeds(0, targets)
+    graph.index  # warm the shared index so both paths start equal
+
+    def per_target_sampling():
+        rng = np.random.default_rng(0)
+        for target in targets:
+            sample_enclosing_subgraph(graph, int(target), k=2,
+                                      size=SUBGRAPH_SIZE, rng=rng)
+
+    def batched_sampling():
+        sample_enclosing_subgraphs(graph, targets, k=2, size=SUBGRAPH_SIZE,
+                                   target_seeds=seeds)
+
+    sampling_per_target = best_of(REPEATS, per_target_sampling)
+    sampling_batched = best_of(REPEATS, batched_sampling)
+
+    config = BourneConfig(hidden_dim=16, predictor_hidden=32,
+                          subgraph_size=SUBGRAPH_SIZE, eval_rounds=ROUNDS,
+                          batch_size=256, seed=0)
+    model = Bourne(graph.num_features, config)
+    score_per_target = best_of(
+        REPEATS, lambda: score_graph(model, graph, sampler="per_target"))
+    score_batched = best_of(
+        REPEATS, lambda: score_graph(model, graph, sampler="batched"))
+
+    rwr_batched = best_of(
+        REPEATS,
+        lambda: build_rwr_batch(graph, targets, SUBGRAPH_SIZE,
+                                np.random.default_rng(0)))
+
+    sampling_speedup = sampling_per_target / sampling_batched
+    score_speedup = score_per_target / score_batched
+    report = {
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges,
+                  "features": graph.num_features},
+        "config": {"subgraph_size": SUBGRAPH_SIZE, "hop_size": 2,
+                   "rounds": ROUNDS, "repeats": REPEATS},
+        "sampling": {
+            "per_target_seconds": sampling_per_target,
+            "batched_seconds": sampling_batched,
+            "speedup": sampling_speedup,
+        },
+        "score_graph": {
+            "per_target_seconds": score_per_target,
+            "batched_seconds": score_batched,
+            "speedup": score_speedup,
+        },
+        "rwr_batch_seconds": rwr_batched,
+        "target_speedup": TARGET_SPEEDUP,
+        "pass": score_speedup >= TARGET_SPEEDUP,
+    }
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"raw sampling : per-target {sampling_per_target:.3f}s  "
+          f"batched {sampling_batched:.3f}s  ({sampling_speedup:.1f}x)")
+    print(f"score_graph  : per-target {score_per_target:.3f}s  "
+          f"batched {score_batched:.3f}s  ({score_speedup:.1f}x)")
+    print(f"rwr batch    : {rwr_batched:.3f}s")
+    print(f"wrote {os.path.abspath(OUTPUT)}")
+    if score_speedup < TARGET_SPEEDUP:
+        print(f"FAIL: end-to-end speedup {score_speedup:.2f}x "
+              f"< target {TARGET_SPEEDUP:.1f}x")
+        return 1
+    print(f"PASS: end-to-end speedup >= {TARGET_SPEEDUP:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

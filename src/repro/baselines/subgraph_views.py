@@ -5,6 +5,14 @@ module mirrors :mod:`repro.core.views` batching: per-target subgraphs
 are stitched into one block-diagonal operator, and the target node's row
 inside its subgraph is anonymized (zeroed) to prevent information
 leakage into the readout.
+
+The whole batch rides the vectorized sampling path: walks advance in
+lock-step (:func:`repro.graph.sampling.random_walk_subgraphs`), edges
+among sampled slots are induced with one sorted-key membership test
+over every pair (``GraphIndex.contains_edges`` — no edge ids or
+target-first ordering needed here, unlike the enclosing sampler's
+``induce_slot_edges``), and the GCN operators are normalized as one
+dense stack — no per-target Python loops.
 """
 
 from __future__ import annotations
@@ -16,8 +24,9 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graph.graph import Graph
-from ..graph.normalize import gcn_operator
-from ..graph.sampling import random_walk_subgraph
+from ..graph.index import index_of
+from ..graph.normalize import batched_gcn_operator, block_diag_csr
+from ..graph.sampling import random_walk_subgraphs
 
 
 @dataclass
@@ -42,36 +51,32 @@ def build_rwr_batch(
     restart_prob: float = 0.5,
 ) -> RWRBatch:
     """Sample one anonymized RWR subgraph per target and batch them."""
-    blocks, features_list = [], []
-    pool_rows, pool_cols, pool_vals = [], [], []
-    offset = 0
-    target_features = graph.features[np.asarray(targets, dtype=np.int64)]
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = len(targets)
+    index = index_of(graph)
+    target_features = graph.features[targets]
 
-    for b, target in enumerate(targets):
-        nodes = random_walk_subgraph(graph, int(target), size, rng,
-                                     restart_prob=restart_prob)
-        feats = graph.features[nodes].copy()
-        feats[0] = 0.0                      # anonymize the target's slot
-        # Induce adjacency among the (possibly repeated) sampled nodes.
-        rows, cols = [], []
-        for i in range(len(nodes)):
-            for j in range(i + 1, len(nodes)):
-                if nodes[i] != nodes[j] and graph.has_edge(int(nodes[i]), int(nodes[j])):
-                    rows.extend([i, j])
-                    cols.extend([j, i])
-        adjacency = sp.csr_matrix(
-            (np.ones(len(rows)), (rows, cols)), shape=(len(nodes), len(nodes))
-        )
-        blocks.append(gcn_operator(adjacency))
-        features_list.append(feats)
-        for r in range(len(nodes)):
-            pool_rows.append(b)
-            pool_cols.append(offset + r)
-            pool_vals.append(1.0 / len(nodes))
-        offset += len(nodes)
+    nodes = random_walk_subgraphs(graph, targets, size, rng,
+                                  restart_prob=restart_prob)
+    features = graph.features[nodes.reshape(-1)].copy()
+    features[::size] = 0.0                  # anonymize each target's slot
 
-    features = np.vstack(features_list)
-    operator = sp.block_diag(blocks, format="csr")
-    pool = sp.csr_matrix((pool_vals, (pool_rows, pool_cols)),
-                         shape=(len(targets), offset))
+    # Induce adjacency among the (possibly repeated) sampled nodes for
+    # the whole batch with one sorted-key lookup over all slot pairs.
+    tri_a, tri_b = np.triu_indices(size, k=1)
+    u, v = nodes[:, tri_a], nodes[:, tri_b]
+    present = ((u != v)
+               & index.contains_edges(np.minimum(u, v).ravel(),
+                                      np.maximum(u, v).ravel()).reshape(u.shape))
+    adjacency = np.zeros((batch, size, size))
+    row, pair = np.nonzero(present)
+    adjacency[row, tri_a[pair], tri_b[pair]] = 1.0
+    adjacency[row, tri_b[pair], tri_a[pair]] = 1.0
+    operator = block_diag_csr(batched_gcn_operator(adjacency))
+
+    pool_rows = np.repeat(np.arange(batch), size)
+    pool_cols = np.arange(batch * size)
+    pool = sp.csr_matrix(
+        (np.full(batch * size, 1.0 / size), (pool_rows, pool_cols)),
+        shape=(batch, batch * size))
     return RWRBatch(features, operator, pool, target_features)

@@ -14,7 +14,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graph.graph import Graph
-from ..graph.sampling import sample_enclosing_subgraph
+from ..graph.sampling import (
+    sample_enclosing_subgraph,
+    sample_enclosing_subgraphs,
+)
 from ..optim.ema import ExponentialMovingAverage
 from ..tensor.autograd import Tensor, no_grad
 from ..utils.seed import rng_from_seed
@@ -31,6 +34,7 @@ from .views import (
     BatchedHypergraphViews,
     batch_graph_views,
     batch_hypergraph_views,
+    build_batched_views,
     build_graph_view,
     build_hypergraph_view,
     mask_features,
@@ -102,10 +106,33 @@ class Bourne:
         targets: Sequence[int],
         rng: Optional[np.random.Generator] = None,
         augment: bool = True,
+        sampler: str = "batched",
+        target_seeds: Optional[np.ndarray] = None,
     ) -> Tuple[BatchedGraphViews, BatchedHypergraphViews]:
-        """Sample enclosing subgraphs and build both views for ``targets``."""
+        """Sample enclosing subgraphs and build both views for ``targets``.
+
+        The default ``sampler="batched"`` runs the whole batch through
+        the vectorized pipeline — no per-target Python loop on the
+        sampling path.  ``target_seeds`` (``(B,)`` ``uint64``) pins each
+        target's draws independently of batch composition; without it,
+        ``B`` seeds are drawn from ``rng``.  ``sampler="per_target"``
+        keeps the legacy loop as a reference/benchmark baseline.
+        """
         cfg = self.config
         rng = rng if rng is not None else self.sample_rng
+        if sampler == "batched":
+            batch = sample_enclosing_subgraphs(
+                graph, targets, k=cfg.hop_size, size=cfg.subgraph_size,
+                rng=rng, target_seeds=target_seeds,
+            )
+            return build_batched_views(
+                batch, rng=rng,
+                feature_mask_prob=cfg.feature_mask_prob,
+                incidence_drop_prob=cfg.incidence_drop_prob,
+                augment=augment,
+            )
+        if sampler != "per_target":
+            raise ValueError(f"unknown sampler {sampler!r}")
         graph_views, hyper_views = [], []
         for target in targets:
             sub = sample_enclosing_subgraph(

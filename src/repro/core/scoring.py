@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..graph.graph import Graph
+from ..graph.index import derive_target_seeds
 from ..utils.seed import rng_from_seed
 from .model import Bourne
 
@@ -52,6 +53,7 @@ def score_graph(
     rounds: Optional[int] = None,
     batch_size: Optional[int] = None,
     seed: Optional[int] = None,
+    sampler: str = "batched",
 ) -> AnomalyScores:
     """Score every node and edge of ``graph`` with ``rounds`` evaluations.
 
@@ -64,11 +66,21 @@ def score_graph(
     seed:
         Seed for inference-time sampling/augmentation; defaults to the
         model seed shifted so inference never replays training draws.
+    sampler:
+        ``"batched"`` (default) samples each minibatch through the
+        vectorized pipeline with per-``(round, target)`` seeds, so a
+        node's subgraphs do not depend on ``batch_size``;
+        ``"per_target"`` keeps the legacy per-target loop as a
+        reference/benchmark baseline.
     """
     cfg = model.config
     rounds = rounds if rounds is not None else cfg.eval_rounds
     batch_size = batch_size if batch_size is not None else cfg.batch_size
     rng = rng_from_seed((cfg.seed if seed is None else seed) + 104729)
+    if sampler == "batched":
+        # One base per round, drawn up front: per-target seeds derive
+        # from (round base, target id) — never from batch layout.
+        round_bases = rng.integers(0, 2 ** 64, size=rounds, dtype=np.uint64)
 
     node_sum = np.zeros(graph.num_nodes)
     node_count = np.zeros(graph.num_nodes)
@@ -77,11 +89,14 @@ def score_graph(
 
     model.eval_mode()
     all_nodes = np.arange(graph.num_nodes)
-    for _ in range(rounds):
+    for round_index in range(rounds):
         for start in range(0, graph.num_nodes, batch_size):
             batch = all_nodes[start:start + batch_size]
+            target_seeds = (derive_target_seeds(round_bases[round_index], batch)
+                            if sampler == "batched" else None)
             gviews, hviews = model.prepare_batch(
-                graph, batch, rng=rng, augment=cfg.augment_at_inference
+                graph, batch, rng=rng, augment=cfg.augment_at_inference,
+                sampler=sampler, target_seeds=target_seeds,
             )
             scores = model.forward_batch(gviews, hviews, rng=rng)
             if scores.node_scores is not None:

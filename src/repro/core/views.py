@@ -20,7 +20,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graph.dual import edge_features
-from ..graph.sampling import SampledSubgraph
+from ..graph.normalize import batched_gcn_operator, block_diag_csr
+from ..graph.sampling import SampledSubgraph, SampledSubgraphBatch
 
 
 @dataclass
@@ -224,6 +225,195 @@ class BatchedHypergraphViews:
     has_edges: np.ndarray        # (B,) bool — False for degenerate targets
 
 
+def batch_graph_views_from_subgraphs(
+        batch: SampledSubgraphBatch) -> BatchedGraphViews:
+    """Anonymize + batch the graph views of a sampled batch, vectorized.
+
+    Exploits the batch's uniform slot count: features, extended
+    adjacencies (Eq. 1–2), and GCN operators are built as one ``(B, …)``
+    stack and stitched into the block-diagonal system with pure index
+    arithmetic.  Produces the same :class:`BatchedGraphViews` (bitwise)
+    as ``batch_graph_views([build_graph_view(v) for v in batch.views()])``.
+    """
+    num_views = len(batch)
+    ns = batch.slots
+    dim = batch.features.shape[1]
+    if num_views == 0:
+        return BatchedGraphViews(
+            features=np.zeros((0, dim)),
+            operator=sp.csr_matrix((0, 0)),
+            patch_rows=np.zeros(0, dtype=np.int64),
+            target_rows=np.zeros(0, dtype=np.int64),
+            context_pool=sp.csr_matrix((0, 0)),
+        )
+    rows_per = ns + 1
+
+    feats = batch.features.reshape(num_views, ns, dim)
+    features = np.zeros((num_views, rows_per, dim))
+    features[:, 1:ns] = feats[:, 1:]
+    features[:, ns] = feats[:, 0]           # raw copy of each target
+
+    adjacency = np.zeros((num_views, rows_per, rows_per))
+    edge_view = np.repeat(np.arange(num_views), np.diff(batch.edge_offsets))
+    slot_a, slot_b = batch.edges[:, 0], batch.edges[:, 1]
+    adjacency[edge_view, slot_a, slot_b] = 1.0
+    adjacency[edge_view, slot_b, slot_a] = 1.0
+    adjacency[:, ns, ns] = 1.0              # isolated self-loop of Eq. 2
+    operator = block_diag_csr(batched_gcn_operator(adjacency))
+
+    offsets = np.arange(num_views, dtype=np.int64) * rows_per
+    pool_rows = np.repeat(np.arange(num_views), ns)
+    pool_cols = (offsets[:, None] + np.arange(ns)).reshape(-1)
+    context_pool = sp.csr_matrix(
+        (np.full(num_views * ns, 1.0 / ns), (pool_rows, pool_cols)),
+        shape=(num_views, num_views * rows_per))
+    return BatchedGraphViews(
+        features=features.reshape(-1, dim),
+        operator=operator,
+        patch_rows=offsets.copy(),
+        target_rows=offsets + ns,
+        context_pool=context_pool,
+    )
+
+
+def batch_hypergraph_views_from_subgraphs(
+    batch: SampledSubgraphBatch,
+    rng: Optional[np.random.Generator] = None,
+    feature_mask_prob: float = 0.2,
+    incidence_drop_prob: float = 0.2,
+    augment: bool = True,
+) -> BatchedHypergraphViews:
+    """Dual-transform + augment + batch the hypergraph views, vectorized.
+
+    The ragged per-target views (``Ms`` varies) are handled as flat
+    segment arrays: dual features, Γ1/Γ2 augmentation draws, and the
+    extended incidences (Eq. 7–8) are computed for the whole batch at
+    once, and the block-diagonal HGNN operator falls out of ONE sparse
+    product ``(Ŝ·D_e^{-1}) Ŝᵀ`` over the global scaled incidence — no
+    per-view dense matmuls.  With augmentation off, per-block values
+    match :func:`build_hypergraph_view` exactly; with augmentation on,
+    the Γ1/Γ2 draws are batched (one ``(V, D)`` mask block, one
+    ``(ΣMs, 2)`` drop block) and therefore consume ``rng`` in a
+    different order than the per-view path — same distribution, not
+    the same stream.  Degenerate targets (no edges) become the same
+    1-row zero placeholders :func:`batch_hypergraph_views` emits.
+    """
+    num_views = len(batch)
+    slots = batch.slots
+    dim = batch.features.shape[1]
+    if num_views == 0:
+        return batch_hypergraph_views([], dim)
+    edge_counts = np.diff(batch.edge_offsets)          # Ms per view
+    target_counts = batch.num_target_edges.astype(np.int64)
+    has_edges = edge_counts > 0
+
+    view_rows = np.where(has_edges, edge_counts + target_counts, 1)
+    view_cols = np.where(has_edges, slots + target_counts, 1)
+    row_off = np.zeros(num_views + 1, dtype=np.int64)
+    np.cumsum(view_rows, out=row_off[1:])
+    col_off = np.zeros(num_views + 1, dtype=np.int64)
+    np.cumsum(view_cols, out=col_off[1:])
+    total_rows, total_cols = int(row_off[-1]), int(col_off[-1])
+    num_edges = len(batch.edges)
+
+    # Flat dual node features: endpoint mean per sampled edge (the
+    # slot-feature rows live at view * slots + slot).
+    edge_view = np.repeat(np.arange(num_views), edge_counts)
+    slot_rows = edge_view * slots
+    dual = 0.5 * (batch.features[slot_rows + batch.edges[:, 0]]
+                  + batch.features[slot_rows + batch.edges[:, 1]])
+
+    if augment and feature_mask_prob > 0.0 and has_edges.any():
+        # Γ1: one D-dim mask per view with edges, in view order.
+        masks = rng.random((int(has_edges.sum()), dim)) >= feature_mask_prob
+        mask_row = np.cumsum(has_edges) - 1
+        dual = dual * masks[mask_row[edge_view]]
+    if augment and incidence_drop_prob > 0.0 and num_edges:
+        # Γ2: i.i.d. Bernoulli drop per incidence entry (2 per edge).
+        keep = rng.random((num_edges, 2)) >= incidence_drop_prob
+    else:
+        keep = np.ones((num_edges, 2), dtype=bool)
+
+    # Eq. 7 row layout per view: [anonymized target edges (zeros) |
+    # context edges | raw copies of the target edges].
+    local_edge = np.arange(num_edges) - batch.edge_offsets[edge_view]
+    is_target = local_edge < target_counts[edge_view]
+    features = np.zeros((total_rows, dim))
+    ctx = ~is_target
+    features[row_off[edge_view[ctx]] + local_edge[ctx]] = dual[ctx]
+    features[row_off[edge_view[is_target]] + edge_counts[edge_view[is_target]]
+             + local_edge[is_target]] = dual[is_target]
+
+    # Eq. 8 incidence entries: dual rows hit their two endpoint slots
+    # (post-Γ2); isolated copies hit their private identity columns.
+    dual_rows = row_off[edge_view] + local_edge
+    end_a = col_off[edge_view] + batch.edges[:, 0]
+    end_b = col_off[edge_view] + batch.edges[:, 1]
+    target_view = np.repeat(np.arange(num_views), target_counts)
+    target_pos = (np.arange(int(target_counts.sum()))
+                  - np.concatenate([[0], np.cumsum(target_counts)[:-1]]
+                                   )[target_view])
+    iso_rows = row_off[target_view] + edge_counts[target_view] + target_pos
+    inc_rows = np.concatenate([dual_rows[keep[:, 0]], dual_rows[keep[:, 1]],
+                               iso_rows])
+    inc_cols = np.concatenate([end_a[keep[:, 0]], end_b[keep[:, 1]],
+                               col_off[target_view] + slots + target_pos])
+
+    # HGNN normalization (Eq. 10) over the global incidence; the block
+    # structure survives the product because blocks share no columns.
+    row_degree = np.bincount(inc_rows, minlength=total_rows).astype(np.float64)
+    col_degree = np.bincount(inc_cols, minlength=total_cols).astype(np.float64)
+    dv = np.zeros(total_rows)
+    dv[row_degree > 0] = row_degree[row_degree > 0] ** -0.5
+    de = np.zeros(total_cols)
+    de[col_degree > 0] = col_degree[col_degree > 0] ** -1.0
+    scaled = sp.csr_matrix((dv[inc_rows], (inc_rows, inc_cols)),
+                           shape=(total_rows, total_cols))
+    weighted = sp.csr_matrix((dv[inc_rows] * de[inc_cols],
+                              (inc_rows, inc_cols)),
+                             shape=(total_rows, total_cols))
+    operator = (weighted @ scaled.T).tocsr()
+
+    patch_pool = sp.csr_matrix(
+        (1.0 / target_counts[target_view],
+         (target_view, row_off[target_view] + target_pos)),
+        shape=(num_views, total_rows))
+    context_pool = sp.csr_matrix(
+        (1.0 / edge_counts[edge_view], (edge_view, dual_rows)),
+        shape=(num_views, total_rows))
+    return BatchedHypergraphViews(
+        features=features,
+        operator=operator,
+        zt_rows=iso_rows,
+        edge_owner=target_view,
+        edge_orig_ids=batch.edge_orig_ids[is_target],
+        edge_patch_rows=row_off[target_view] + target_pos,
+        patch_pool=patch_pool,
+        context_pool=context_pool,
+        has_edges=has_edges,
+    )
+
+
+def build_batched_views(
+    batch: SampledSubgraphBatch,
+    rng: Optional[np.random.Generator] = None,
+    feature_mask_prob: float = 0.2,
+    incidence_drop_prob: float = 0.2,
+    augment: bool = True,
+):
+    """Both batched views of a sampled target batch, fully vectorized.
+
+    Returns ``(BatchedGraphViews, BatchedHypergraphViews)``; no
+    per-target Python loop on either path.
+    """
+    return (batch_graph_views_from_subgraphs(batch),
+            batch_hypergraph_views_from_subgraphs(
+                batch, rng=rng,
+                feature_mask_prob=feature_mask_prob,
+                incidence_drop_prob=incidence_drop_prob,
+                augment=augment))
+
+
 def batch_graph_views(views: Sequence[GraphView]) -> BatchedGraphViews:
     """Stack graph views into one block-diagonal system."""
     offsets = np.cumsum([0] + [v.features.shape[0] for v in views])
@@ -251,6 +441,19 @@ def batch_hypergraph_views(
 ) -> BatchedHypergraphViews:
     """Stack hypergraph views; ``None`` entries become zero-row placeholders."""
     batch = len(views)
+    if batch == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return BatchedHypergraphViews(
+            features=np.zeros((0, feature_dim)),
+            operator=sp.csr_matrix((0, 0)),
+            zt_rows=empty,
+            edge_owner=empty.copy(),
+            edge_orig_ids=empty.copy(),
+            edge_patch_rows=empty.copy(),
+            patch_pool=sp.csr_matrix((0, 0)),
+            context_pool=sp.csr_matrix((0, 0)),
+            has_edges=np.zeros(0, dtype=bool),
+        )
     blocks, sizes = [], []
     for view in views:
         if view is None:

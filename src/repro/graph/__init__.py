@@ -3,26 +3,46 @@
 from .dual import dual_hypergraph, edge_features, incidence_from_edges
 from .graph import Graph, canonical_edges
 from .hypergraph import Hypergraph
+from .index import (
+    GraphIndex,
+    derive_stream_seed,
+    derive_target_seeds,
+    index_of,
+    seeded_uniform,
+)
 from .normalize import gcn_operator, hgnn_operator, row_normalize
 from .sampling import (
     SampledSubgraph,
+    SampledSubgraphBatch,
+    induce_slot_edges,
     khop_neighbors,
     random_walk_subgraph,
+    random_walk_subgraphs,
     sample_enclosing_subgraph,
+    sample_enclosing_subgraphs,
 )
 
 __all__ = [
     "Graph",
+    "GraphIndex",
     "Hypergraph",
     "canonical_edges",
+    "derive_stream_seed",
+    "derive_target_seeds",
     "dual_hypergraph",
     "edge_features",
     "incidence_from_edges",
+    "index_of",
     "gcn_operator",
     "hgnn_operator",
     "row_normalize",
+    "seeded_uniform",
     "SampledSubgraph",
+    "SampledSubgraphBatch",
+    "induce_slot_edges",
     "khop_neighbors",
     "random_walk_subgraph",
+    "random_walk_subgraphs",
     "sample_enclosing_subgraph",
+    "sample_enclosing_subgraphs",
 ]

@@ -15,6 +15,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..utils.validation import check_edge_array
+from .index import GraphIndex
 
 
 def canonical_edges(edges: np.ndarray) -> np.ndarray:
@@ -76,8 +77,8 @@ class Graph:
 
         self._adjacency: Optional[sp.csr_matrix] = None
         self._incidence: Optional[sp.csr_matrix] = None
-        self._neighbors: Optional[list] = None
         self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
+        self._index: Optional[GraphIndex] = None
 
     @staticmethod
     def _check_labels(labels, expected: int, name: str) -> np.ndarray:
@@ -153,15 +154,18 @@ class Graph:
         """Node degrees as an integer vector."""
         return np.asarray(self.adjacency.sum(axis=1)).reshape(-1).astype(np.int64)
 
+    @property
+    def index(self) -> GraphIndex:
+        """Cached :class:`GraphIndex` (CSR arrays + sorted edge keys)
+        used by the batched samplers; edge ids are canonical order."""
+        if self._index is None:
+            self._index = GraphIndex.build(self.num_nodes, self.edges)
+        return self._index
+
     def neighbors(self, node: int) -> np.ndarray:
         """1-hop neighbours ``N(v)`` of ``node`` as a sorted array."""
-        if self._neighbors is None:
-            adjacency = self.adjacency
-            self._neighbors = [
-                adjacency.indices[adjacency.indptr[i]:adjacency.indptr[i + 1]]
-                for i in range(self.num_nodes)
-            ]
-        return self._neighbors[node]
+        index = self.index
+        return index.indices[index.indptr[node]:index.indptr[node + 1]]
 
     # ------------------------------------------------------------------
     # Edge lookup
@@ -188,9 +192,9 @@ class Graph:
 
     def incident_edge_ids(self, node: int) -> np.ndarray:
         """Edge ids of all edges incident to ``node``."""
-        incidence = self.incidence.tocsc() if False else self.incidence
-        row = incidence.getrow(node)
-        return row.indices.astype(np.int64)
+        incidence = self.incidence
+        start, end = incidence.indptr[node], incidence.indptr[node + 1]
+        return incidence.indices[start:end].astype(np.int64)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -215,9 +219,14 @@ class Graph:
                           self.edge_labels, name=name or self.name)
             return graph
         extra = canonical_edges(np.asarray(extra_edges))
-        existing = self._build_edge_index()
-        fresh = np.array([e for e in extra if (int(e[0]), int(e[1])) not in existing],
-                         dtype=np.int64).reshape(-1, 2)
+        # Membership against the sorted edge-key array; endpoints beyond
+        # the current node count (new nodes) are necessarily fresh.
+        present = np.zeros(len(extra), dtype=bool)
+        in_range = extra[:, 1] < self.num_nodes
+        if in_range.any():
+            present[in_range] = self.index.contains_edges(
+                extra[in_range, 0], extra[in_range, 1])
+        fresh = extra[~present].reshape(-1, 2)
         combined = np.concatenate([self.edges, fresh], axis=0)
         order = np.lexsort((combined[:, 1], combined[:, 0]))
         labels = np.concatenate([

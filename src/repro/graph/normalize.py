@@ -59,3 +59,42 @@ def row_normalize(matrix) -> sp.csr_matrix:
     nonzero = degrees > 0
     inv[nonzero] = 1.0 / degrees[nonzero]
     return (sp.diags(inv) @ matrix).tocsr()
+
+
+def block_diag_csr(blocks: np.ndarray) -> sp.csr_matrix:
+    """Block-diagonal CSR from a uniform dense block stack ``(B, r, c)``.
+
+    Pure index arithmetic — no per-block Python loop (unlike
+    ``scipy.sparse.block_diag`` over a block list).  Explicit zeros are
+    dropped, matching what ``block_diag`` produces from dense blocks.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    num_blocks, rows_per, cols_per = blocks.shape
+    mask = blocks != 0.0
+    block_id, row_in, col_in = np.nonzero(mask)      # row-major order
+    data = blocks[mask]
+    rows = block_id * rows_per + row_in
+    cols = block_id * cols_per + col_in
+    indptr = np.zeros(num_blocks * rows_per + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=num_blocks * rows_per),
+              out=indptr[1:])
+    return sp.csr_matrix((data, cols, indptr),
+                         shape=(num_blocks * rows_per,
+                                num_blocks * cols_per))
+
+
+def batched_gcn_operator(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric GCN normalization of a dense adjacency stack ``(B, n, n)``.
+
+    Per-block results are bitwise identical to
+    :func:`repro.core.views._dense_gcn_operator` on each block alone.
+    Self-loops are added here (Ã = A + I); zero-degree rows get zero
+    coefficients.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    a_tilde = adjacency + np.eye(adjacency.shape[1])
+    degrees = a_tilde.sum(axis=2)
+    inv_sqrt = np.zeros_like(degrees)
+    positive = degrees > 0
+    inv_sqrt[positive] = degrees[positive] ** -0.5
+    return a_tilde * inv_sqrt[:, :, None] * inv_sqrt[:, None, :]

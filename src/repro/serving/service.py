@@ -39,7 +39,8 @@ from ..core.views import (
     build_hypergraph_view,
 )
 from ..graph.graph import Graph
-from ..graph.sampling import sample_enclosing_subgraph
+from ..graph.index import derive_stream_seed, derive_target_seeds
+from ..graph.sampling import sample_enclosing_subgraphs
 from .cache import SubgraphCache
 from .store import GraphStore
 
@@ -163,7 +164,14 @@ class ScoringService:
     # ------------------------------------------------------------------
     # RNG streams (deterministic, batch-independent)
     # ------------------------------------------------------------------
-    def _sample_rng(self, target: int, round_index: int) -> np.random.Generator:
+    def _sampling_base(self, round_index: int) -> np.uint64:
+        """Base of the counter-based sampling seeds for one round; the
+        batch sampler folds it with each target id, so draws depend on
+        ``(seed, round, target)`` only — never on batch layout."""
+        return derive_stream_seed(self.seed, 0, round_index)
+
+    def _view_rng(self, target: int, round_index: int) -> np.random.Generator:
+        """Per-``(target, round)`` stream for view augmentation."""
         return np.random.default_rng((self.seed, 0, round_index, int(target)))
 
     def _forward_rng(self, round_index: int) -> np.random.Generator:
@@ -315,11 +323,9 @@ class ScoringService:
         for round_index in range(self.rounds):
             for start in range(0, len(targets), self.max_batch):
                 chunk = targets[start:start + self.max_batch]
-                graph_views, hyper_views = [], []
-                for target in chunk:
-                    entry = self._get_views(int(target), round_index)
-                    graph_views.append(entry.graph_view)
-                    hyper_views.append(entry.hyper_view)
+                entries = self._views_for_chunk(chunk, round_index)
+                graph_views = [entry.graph_view for entry in entries]
+                hyper_views = [entry.hyper_view for entry in entries]
                 batched_g = batch_graph_views(graph_views)
                 batched_h = batch_hypergraph_views(hyper_views,
                                                    self.store.num_features)
@@ -343,24 +349,41 @@ class ScoringService:
         self._nodes_scored += len(targets)
         return sums / self.rounds
 
-    def _get_views(self, target: int, round_index: int):
-        key = (target, round_index)
-        entry = self.cache.get(key, self.store.region_version(target))
-        if entry is None:
+    def _views_for_chunk(self, chunk: np.ndarray, round_index: int) -> list:
+        """Cache entries for ``chunk``; misses are sampled in ONE
+        vectorized batch call (no per-target sampling loop), then built
+        into per-target views so the version-aware LRU keeps serving
+        hits at ``(target, round)`` granularity."""
+        entries: Dict[int, object] = {}
+        misses: List[int] = []
+        for target in chunk:
+            target = int(target)
+            entry = self.cache.get((target, round_index),
+                                   self.store.region_version(target))
+            if entry is None:
+                misses.append(target)
+            else:
+                entries[target] = entry
+        if misses:
             cfg = self.model.config
-            rng = self._sample_rng(target, round_index)
-            sub = sample_enclosing_subgraph(
-                self.store, target, k=cfg.hop_size,
-                size=cfg.subgraph_size, rng=rng)
-            graph_view = build_graph_view(sub)
-            hyper_view = build_hypergraph_view(
-                sub, rng,
-                feature_mask_prob=cfg.feature_mask_prob,
-                incidence_drop_prob=cfg.incidence_drop_prob,
-                augment=cfg.augment_at_inference)
-            entry = self.cache.put(key, graph_view, hyper_view,
-                                   self.store.version)
-        return entry
+            miss_targets = np.asarray(misses, dtype=np.int64)
+            seeds = derive_target_seeds(self._sampling_base(round_index),
+                                        miss_targets)
+            sampled = sample_enclosing_subgraphs(
+                self.store, miss_targets, k=cfg.hop_size,
+                size=cfg.subgraph_size, target_seeds=seeds)
+            version = self.store.version
+            for i, target in enumerate(misses):
+                sub = sampled.view(i)
+                graph_view = build_graph_view(sub)
+                hyper_view = build_hypergraph_view(
+                    sub, self._view_rng(target, round_index),
+                    feature_mask_prob=cfg.feature_mask_prob,
+                    incidence_drop_prob=cfg.incidence_drop_prob,
+                    augment=cfg.augment_at_inference)
+                entries[target] = self.cache.put(
+                    (target, round_index), graph_view, hyper_view, version)
+        return [entries[int(target)] for target in chunk]
 
     # ------------------------------------------------------------------
     # Introspection

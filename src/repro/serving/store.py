@@ -34,6 +34,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..graph.graph import Graph
+from ..graph.index import GraphIndex
 
 
 class GraphStore:
@@ -81,6 +82,8 @@ class GraphStore:
         #: Monotone mutation counter; 0 for a freshly constructed store.
         self.version = 0
         self._region_version = np.zeros(0, dtype=np.int64)
+        self._index: Optional[GraphIndex] = None
+        self._index_version = -1
 
         if features.shape[0]:
             self._append_nodes(features, node_labels)
@@ -118,6 +121,18 @@ class GraphStore:
     def neighbors(self, node: int) -> np.ndarray:
         """Sorted 1-hop neighbours — same order as ``Graph.neighbors``."""
         return self._adj[node]
+
+    @property
+    def index(self) -> GraphIndex:
+        """Sampling index of the current topology (edge ids are
+        insertion order).  Rebuilt lazily after mutations; between
+        mutations every batch shares one build."""
+        if self._index is None or self._index_version != self.version:
+            edges = (np.asarray(self._edge_list, dtype=np.int64).reshape(-1, 2)
+                     if self._edge_list else np.zeros((0, 2), dtype=np.int64))
+            self._index = GraphIndex.build(self._num_nodes, edges)
+            self._index_version = self.version
+        return self._index
 
     def _build_edge_index(self) -> Dict[Tuple[int, int], int]:
         """Live ``(u, v) -> edge id`` map (ids are insertion order)."""
