@@ -12,8 +12,6 @@ combination of both, z-scored against size-matched random regions.
 
 import os
 
-import numpy as np
-
 from repro.core import BourneConfig, rank_communities, score_graph, train_bourne
 from repro.datasets import load_benchmark
 from repro.eval import normalize_graph

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh reports vs. committed baselines.
+
+Compares every numeric ``*speedup*`` metric of freshly produced
+benchmark reports (``BENCH_sampling.json``, ``BENCH_parallel.json``)
+against the committed baseline copies and fails when a fresh value
+drops below ``tolerance`` times its baseline — the blocking replacement
+for the old ``continue-on-error`` benchmark step.
+
+Usage::
+
+    python scripts/check_bench.py --tolerance 0.8 \\
+        --pair baseline_sampling.json=BENCH_sampling.json \\
+        --pair baseline_parallel.json=BENCH_parallel.json
+
+Each ``--pair`` is ``BASELINE=FRESH``.  A fresh report that carries
+``"pass": false`` fails the gate outright (the benchmark's own absolute
+target was missed); ``"pass": null`` means the absolute target was
+skipped on that machine (for example, too few cores for the parallel
+speedup), in which case the relative regression check still applies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def iter_speedups(report, prefix=""):
+    """Yield ``(dotted.path, value)`` for every *measured* speedup metric.
+
+    ``target_*`` keys are configuration constants (the benchmark's own
+    absolute bar), not measurements, so they are excluded.
+    """
+    for key in sorted(report):
+        value = report[key]
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from iter_speedups(value, path)
+        elif isinstance(value, bool):
+            continue
+        elif key.startswith("target"):
+            continue
+        elif isinstance(value, (int, float)) and "speedup" in key:
+            yield path, float(value)
+
+
+def lookup(report, path):
+    node = report
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def check_pair(baseline_path, fresh_path, tolerance):
+    """Compare one report pair; returns a list of failure messages.
+
+    The regression floor for each metric is ``tolerance x baseline``,
+    capped at the report's own absolute bar (``target_speedup``) when it
+    carries one: a baseline recorded on faster or more parallel hardware
+    than the current machine must never make the relative gate stricter
+    than the target the benchmark itself enforces.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+
+    cap = baseline.get("target_speedup")
+    if isinstance(cap, bool) or not isinstance(cap, (int, float)):
+        cap = None
+
+    failures = []
+    metrics = list(iter_speedups(baseline))
+    if not metrics:
+        failures.append(f"{baseline_path}: no speedup metrics found")
+    for path, base_value in metrics:
+        fresh_value = lookup(fresh, path)
+        if fresh_value is None:
+            failures.append(f"{fresh_path}: metric {path!r} missing")
+            continue
+        floor = tolerance * base_value
+        if cap is not None:
+            floor = min(floor, float(cap))
+        status = "ok" if fresh_value >= floor else "REGRESSION"
+        print(
+            f"  {path}: baseline {base_value:.2f}x -> fresh {fresh_value:.2f}x "
+            f"(floor {floor:.2f}x) {status}"
+        )
+        if fresh_value < floor:
+            failures.append(
+                f"{fresh_path}: {path} regressed to {fresh_value:.2f}x, "
+                f"below the {floor:.2f}x floor "
+                f"({tolerance:.0%} of baseline {base_value:.2f}x)"
+            )
+    if fresh.get("pass") is False:
+        failures.append(f"{fresh_path}: report marked its own target as failed")
+    return failures
+
+
+def parse_pair(raw):
+    baseline, sep, fresh = raw.partition("=")
+    if not sep or not baseline or not fresh:
+        raise argparse.ArgumentTypeError(
+            f"expected BASELINE=FRESH, got {raw!r}"
+        )
+    return baseline, fresh
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pair",
+        dest="pairs",
+        type=parse_pair,
+        action="append",
+        required=True,
+        metavar="BASELINE=FRESH",
+        help="baseline and fresh report paths (repeatable)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.8,
+        help="minimum fresh/baseline ratio before failing (default 0.8)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance <= 1.0:
+        parser.error("--tolerance must be in (0, 1]")
+
+    failures = []
+    for baseline_path, fresh_path in args.pairs:
+        print(f"{baseline_path} vs {fresh_path}:")
+        failures.extend(check_pair(baseline_path, fresh_path, args.tolerance))
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,6 @@ Defaults: ``n_p = 15``, ``k = 50``, ``s = 2`` (paper values).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -7,7 +7,6 @@ and/or ``score_edges(graph)``, returning arrays aligned with
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

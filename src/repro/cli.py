@@ -58,6 +58,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(score)
     score.add_argument("--model", required=True, help="checkpoint from `train --save`")
     score.add_argument("--rounds", type=int, default=8)
+    score.add_argument("--workers", type=int, default=None,
+                       help="worker processes for sharded scoring (default: "
+                            "in-process; >1 fans shards out to a process pool)")
     score.add_argument("--out", default="scores.csv",
                        help="CSV prefix; writes <out>.nodes.csv / <out>.edges.csv")
 
@@ -72,6 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="registry version (default: latest)")
     serve.add_argument("--rounds", type=int, default=8,
                        help="evaluation rounds R per score")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes used by `refresh` requests to "
+                            "drain large miss queues through the sharded engine")
     serve.add_argument("--cache-size", type=int, default=4096,
                        help="subgraph LRU capacity in (target, round) entries")
     serve.add_argument("--input", default="-",
@@ -126,10 +132,10 @@ def _cmd_score(args) -> int:
             f"{args.dataset}@{args.scale} has {graph.num_features}; "
             "match --dataset/--scale/--seed with the training run"
         )
-    scores = score_graph(model, graph, rounds=args.rounds)
-    node_rows = [[i, float(s), int(l)] for i, (s, l) in
+    scores = score_graph(model, graph, rounds=args.rounds, workers=args.workers)
+    node_rows = [[i, float(s), int(label)] for i, (s, label) in
                  enumerate(zip(scores.node_scores, graph.node_labels))]
-    edge_rows = [[int(u), int(v), float(s), int(l)] for (u, v), s, l in
+    edge_rows = [[int(u), int(v), float(s), int(label)] for (u, v), s, label in
                  zip(graph.edges, scores.edge_scores, graph.edge_labels)]
     write_csv(f"{args.out}.nodes.csv", ["node", "score", "label"], node_rows)
     write_csv(f"{args.out}.edges.csv", ["u", "v", "score", "label"], edge_rows)
@@ -137,8 +143,12 @@ def _cmd_score(args) -> int:
     return 0
 
 
-def _serve_request(service, request: dict) -> dict:
-    """Dispatch one JSONL request against a :class:`ScoringService`."""
+def _serve_request(service, request: dict, refresh_workers=None) -> dict:
+    """Dispatch one JSONL request against a :class:`ScoringService`.
+
+    ``refresh_workers`` is the server-wide default for ``refresh``
+    requests; a request may override it with its own ``workers`` field.
+    """
     if not isinstance(request, dict):
         raise ValueError(
             f"request must be a JSON object, got {type(request).__name__}")
@@ -167,7 +177,9 @@ def _serve_request(service, request: dict) -> dict:
         store.update_features([int(request["node"])], features.reshape(1, -1))
         return {"ok": True, "op": op, "version": store.version}
     if op == "refresh":
-        result = service.refresh()
+        workers = request.get("workers", refresh_workers)
+        result = service.refresh(
+            workers=None if workers is None else int(workers))
         order = np.argsort(result.scores)[::-1][:10]
         return {"ok": True, "op": op, "rescored": result.num_rescored,
                 "num_nodes": len(result.scores),
@@ -215,8 +227,13 @@ def _cmd_serve(args) -> int:
                 continue
             try:
                 request = json.loads(line)
-                response = _serve_request(service, request)
-            except (ValueError, KeyError, IndexError, TypeError) as error:
+                response = _serve_request(service, request,
+                                          refresh_workers=args.workers)
+            # RuntimeError/OSError cover sharded-refresh failures (worker
+            # crash, shared-memory exhaustion): one bad request must not
+            # take the server down.
+            except (ValueError, KeyError, IndexError, TypeError,
+                    RuntimeError, OSError) as error:
                 response = {"ok": False, "error": str(error)}
             print(json.dumps(response), flush=True)
     finally:

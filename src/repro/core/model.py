@@ -38,6 +38,7 @@ from .views import (
     build_graph_view,
     build_hypergraph_view,
     mask_features,
+    seeded_mask_features,
 )
 
 
@@ -156,18 +157,27 @@ class Bourne:
         gviews: BatchedGraphViews,
         hviews: BatchedHypergraphViews,
         rng: Optional[np.random.Generator] = None,
+        mask_seed: Optional[int] = None,
     ) -> BatchScores:
         """Compute node / edge anomaly scores for one prepared batch.
 
         Gradients flow through the online network only (Algorithm 1);
         the target network is evaluated under ``no_grad`` unless
         ``config.grad_through_target`` is set.
+
+        ``mask_seed`` switches the ``node_only`` target-branch feature
+        mask from sequential ``rng`` draws to the counter-based stream
+        keyed by the seed, making the mask — and therefore the scores —
+        independent of batch layout.  The batched inference path feeds
+        one seed per evaluation round; training and the legacy
+        per-target path leave it unset.
         """
         mode = self.config.mode
         if mode == "unified":
             return self._forward_unified(gviews, hviews)
         if mode == "node_only":
-            return self._forward_node_only(gviews, rng or self.sample_rng)
+            return self._forward_node_only(gviews, rng or self.sample_rng,
+                                           mask_seed=mask_seed)
         return self._forward_edge_only(hviews)
 
     def _target_forward(self, operator, features) -> Tensor:
@@ -224,14 +234,19 @@ class Bourne:
         )
 
     def _forward_node_only(self, gviews: BatchedGraphViews,
-                           rng: np.random.Generator) -> BatchScores:
+                           rng: np.random.Generator,
+                           mask_seed: Optional[int] = None) -> BatchScores:
         """w/o HGNN ablation: both branches are graph encoders."""
         cfg = self.config
-        from ..tensor.sparse import spmm
         h_all = self.online(gviews.operator, Tensor(gviews.features))
         h_t = h_all[gviews.target_rows]
 
-        augmented = mask_features(gviews.features, cfg.feature_mask_prob, rng)
+        if mask_seed is not None:
+            augmented = seeded_mask_features(gviews.features,
+                                             cfg.feature_mask_prob, mask_seed)
+        else:
+            augmented = mask_features(gviews.features,
+                                      cfg.feature_mask_prob, rng)
         z_all = self._target_forward(gviews.operator, Tensor(augmented))
         z_data = z_all.data
         h_p_ctx = Tensor(z_data[gviews.patch_rows])

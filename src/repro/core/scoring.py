@@ -3,6 +3,12 @@
 Every node is visited as a target ``R`` times; each visit scores the
 node and its sampled target edges.  Per-object scores are averaged over
 all visits — edges accumulate evidence from both endpoints.
+
+The batched path draws one *base* per round up front and derives every
+target's sampling seed from ``(base, target id)``, so scores never
+depend on batch layout; :func:`score_graph` exposes the same
+computation sharded over worker processes (``workers=``) with
+bitwise-identical output (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -13,9 +19,17 @@ from typing import Optional
 import numpy as np
 
 from ..graph.graph import Graph
-from ..graph.index import derive_target_seeds
+from ..graph.index import derive_stream_seed, derive_target_seeds
 from ..utils.seed import rng_from_seed
 from .model import Bourne
+
+#: Offset keeping inference RNG streams disjoint from training draws.
+INFERENCE_SEED_OFFSET = 104729
+
+#: Stream tag folding a round base into the per-round forward mask seed
+#: (``node_only`` mode); distinct from the sampler's tags 1/2 and the
+#: views' mask tag 3 so no stream ever collides.
+_ROUND_MASK_TAG = 11
 
 
 @dataclass
@@ -47,6 +61,47 @@ class AnomalyScores:
         return float((self.edge_rounds > 0).mean())
 
 
+def inference_round_streams(config, rounds: int, seed: Optional[int]):
+    """Derive the per-round RNG streams of batched inference.
+
+    Returns ``(rng, round_bases, mask_seeds)``: the sequential RNG (used
+    only when augmentation draws remain sequential), one ``uint64``
+    sampling base per round, and one forward-mask seed per round derived
+    from each base *without* consuming the RNG.  The sharded engine
+    calls this with identical arguments, which is what makes its output
+    bitwise-identical to the serial path.
+    """
+    rng = rng_from_seed((config.seed if seed is None else seed)
+                        + INFERENCE_SEED_OFFSET)
+    round_bases = rng.integers(0, 2 ** 64, size=rounds, dtype=np.uint64)
+    mask_seeds = np.array(
+        [derive_stream_seed(int(base), _ROUND_MASK_TAG) for base in round_bases],
+        dtype=np.uint64,
+    )
+    return rng, round_bases, mask_seeds
+
+
+def finalize_scores(node_sum: np.ndarray, node_count: np.ndarray,
+                    edge_sum: np.ndarray, edge_count: np.ndarray) -> AnomalyScores:
+    """Average accumulated evidence; impute never-scored objects with
+    the mean of the scored ones (shared by the serial and sharded
+    engines so both finalize identically)."""
+    node_scores = np.divide(node_sum, node_count,
+                            out=np.zeros_like(node_sum), where=node_count > 0)
+    if (node_count == 0).any() and (node_count > 0).any():
+        node_scores[node_count == 0] = node_scores[node_count > 0].mean()
+    edge_scores = np.divide(edge_sum, edge_count,
+                            out=np.zeros_like(edge_sum), where=edge_count > 0)
+    if (edge_count == 0).any() and (edge_count > 0).any():
+        edge_scores[edge_count == 0] = edge_scores[edge_count > 0].mean()
+    return AnomalyScores(
+        node_scores=node_scores,
+        edge_scores=edge_scores,
+        node_rounds=node_count,
+        edge_rounds=edge_count,
+    )
+
+
 def score_graph(
     model: Bourne,
     graph: Graph,
@@ -54,6 +109,9 @@ def score_graph(
     batch_size: Optional[int] = None,
     seed: Optional[int] = None,
     sampler: str = "batched",
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    planner=None,
 ) -> AnomalyScores:
     """Score every node and edge of ``graph`` with ``rounds`` evaluations.
 
@@ -72,15 +130,37 @@ def score_graph(
         node's subgraphs do not depend on ``batch_size``;
         ``"per_target"`` keeps the legacy per-target loop as a
         reference/benchmark baseline.
+    workers:
+        When > 1, fan the target range out to that many worker
+        processes via :func:`repro.parallel.score_graph_sharded`.  With
+        view augmentation off the merged output is bitwise-identical to
+        the serial path; with it on, the Γ1/Γ2 draws follow per-shard
+        streams instead (same distribution, different stream).
+    shards / planner:
+        Forwarded to the sharded engine: number of work shards (default
+        ``4 × workers``) and the :class:`repro.parallel.ShardPlanner`
+        that places the shard boundaries.
     """
     cfg = model.config
     rounds = rounds if rounds is not None else cfg.eval_rounds
     batch_size = batch_size if batch_size is not None else cfg.batch_size
-    rng = rng_from_seed((cfg.seed if seed is None else seed) + 104729)
+    if workers is not None and workers > 1:
+        if sampler != "batched":
+            raise ValueError(
+                "workers > 1 requires sampler='batched' (the per-target "
+                "loop threads one sequential RNG and cannot be sharded)")
+        from ..parallel import score_graph_sharded
+        return score_graph_sharded(
+            model, graph, rounds=rounds, batch_size=batch_size, seed=seed,
+            workers=workers, shards=shards, planner=planner,
+        )
     if sampler == "batched":
         # One base per round, drawn up front: per-target seeds derive
         # from (round base, target id) — never from batch layout.
-        round_bases = rng.integers(0, 2 ** 64, size=rounds, dtype=np.uint64)
+        rng, round_bases, mask_seeds = inference_round_streams(cfg, rounds, seed)
+    else:
+        rng = rng_from_seed((cfg.seed if seed is None else seed)
+                            + INFERENCE_SEED_OFFSET)
 
     node_sum = np.zeros(graph.num_nodes)
     node_count = np.zeros(graph.num_nodes)
@@ -88,6 +168,10 @@ def score_graph(
     edge_count = np.zeros(graph.num_edges)
 
     model.eval_mode()
+    # NOTE: repro.parallel.engine._score_shard mirrors this inner loop
+    # shard-locally; any change to the accumulation below must be
+    # mirrored there (tests/test_parallel_scoring.py pins the bitwise
+    # equivalence and will catch drift).
     all_nodes = np.arange(graph.num_nodes)
     for round_index in range(rounds):
         for start in range(0, graph.num_nodes, batch_size):
@@ -98,7 +182,10 @@ def score_graph(
                 graph, batch, rng=rng, augment=cfg.augment_at_inference,
                 sampler=sampler, target_seeds=target_seeds,
             )
-            scores = model.forward_batch(gviews, hviews, rng=rng)
+            mask_seed = (int(mask_seeds[round_index])
+                         if sampler == "batched" else None)
+            scores = model.forward_batch(gviews, hviews, rng=rng,
+                                         mask_seed=mask_seed)
             if scores.node_scores is not None:
                 values = scores.node_scores.data
                 node_sum[batch] += values
@@ -109,18 +196,4 @@ def score_graph(
                 np.add.at(edge_count, scores.edge_orig_ids, 1)
     model.train_mode()
 
-    node_scores = np.divide(node_sum, node_count,
-                            out=np.zeros_like(node_sum), where=node_count > 0)
-    if (node_count == 0).any() and (node_count > 0).any():
-        node_scores[node_count == 0] = node_scores[node_count > 0].mean()
-    edge_scores = np.divide(edge_sum, edge_count,
-                            out=np.zeros_like(edge_sum), where=edge_count > 0)
-    if (edge_count == 0).any() and (edge_count > 0).any():
-        edge_scores[edge_count == 0] = edge_scores[edge_count > 0].mean()
-
-    return AnomalyScores(
-        node_scores=node_scores,
-        edge_scores=edge_scores,
-        node_rounds=node_count,
-        edge_rounds=edge_count,
-    )
+    return finalize_scores(node_sum, node_count, edge_sum, edge_count)

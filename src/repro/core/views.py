@@ -14,12 +14,13 @@ matmuls instead of ``2B``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..graph.dual import edge_features
+from ..graph.index import seeded_uniform
 from ..graph.normalize import batched_gcn_operator, block_diag_csr
 from ..graph.sampling import SampledSubgraph, SampledSubgraphBatch
 
@@ -115,6 +116,30 @@ def mask_features(features: np.ndarray, prob: float,
         return features
     mask = rng.random(features.shape[1]) >= prob
     return features * mask[None, :]
+
+
+#: Stream tag of the counter-based forward feature mask (the sampler
+#: owns tags 1 and 2 in :mod:`repro.graph.sampling`).
+_FORWARD_MASK_STREAM = 3
+
+
+def seeded_mask_features(features: np.ndarray, prob: float,
+                         seed: int) -> np.ndarray:
+    """Γ1 with counter-based draws: the mask depends on ``seed`` only.
+
+    Unlike :func:`mask_features`, which consumes a sequential RNG and
+    therefore draws differently depending on how many forwards preceded
+    it, this mask is a pure function of ``(seed, dimension)`` — the same
+    ``splitmix64`` streams the batch sampler uses.  Feeding one seed per
+    evaluation round makes ``node_only`` augmented inference invariant
+    to batch size and to sharding.
+    """
+    if prob <= 0.0:
+        return features
+    draws = seeded_uniform(np.uint64(int(seed) & 0xFFFFFFFFFFFFFFFF),
+                           _FORWARD_MASK_STREAM,
+                           np.arange(features.shape[1], dtype=np.uint64))
+    return features * (draws >= prob)[None, :]
 
 
 def perturb_incidence(incidence, prob: float,

@@ -10,7 +10,7 @@ evaluated on — is identical to the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

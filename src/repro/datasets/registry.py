@@ -9,14 +9,11 @@ labelled graph ready for evaluation.
 from __future__ import annotations
 
 import zlib
-from typing import Optional
-
-import numpy as np
 
 from ..anomaly.injection import inject_benchmark_anomalies
 from ..graph.graph import Graph
 from ..utils.seed import rng_from_seed
-from .base import PAPER_SPECS, DatasetSpec, get_spec
+from .base import PAPER_SPECS, get_spec
 from .generators import GENERATORS
 
 

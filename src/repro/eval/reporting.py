@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],

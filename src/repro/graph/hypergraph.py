@@ -8,7 +8,6 @@ graph nodes become hyperedges.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

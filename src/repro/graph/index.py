@@ -140,6 +140,33 @@ class GraphIndex:
                    keys[key_order], key_order.astype(np.int64))
 
     # ------------------------------------------------------------------
+    # Export / import (multi-process scoring)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """The index as a dict of flat arrays plus ``num_nodes``.
+
+        Everything a worker process needs to reconstruct the index
+        without re-sorting: the CSR pair and the *already sorted* edge
+        keys with their id mapping.  The arrays are returned by
+        reference (no copy) so they can be placed into shared memory.
+        """
+        return {
+            "num_nodes": self.num_nodes,
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "edge_keys": self.edge_keys,
+            "edge_key_ids": self.edge_key_ids,
+        }
+
+    @classmethod
+    def from_arrays(cls, num_nodes: int, indptr: np.ndarray,
+                    indices: np.ndarray, edge_keys: np.ndarray,
+                    edge_key_ids: np.ndarray) -> "GraphIndex":
+        """Rebuild an index from :meth:`to_arrays` output (zero work:
+        the arrays are adopted as-is, no re-sort, no copy)."""
+        return cls(num_nodes, indptr, indices, edge_keys, edge_key_ids)
+
+    # ------------------------------------------------------------------
     # Neighbour access
     # ------------------------------------------------------------------
     @property

@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..tensor.autograd import Tensor
-from ..tensor.sparse import spmm, to_csr
+from ..tensor.sparse import spmm
 from . import init
 from .activations import PReLU
 from .module import Module, Parameter

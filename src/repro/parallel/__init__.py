@@ -1,0 +1,39 @@
+"""Sharded multi-process scoring.
+
+Partitions target ranges into contiguous shards, fans them out to a
+process pool whose workers attach the graph from shared memory, and
+merges per-shard evidence in serial accumulation order so the output is
+bitwise-identical to single-process scoring (augmentation off).
+"""
+
+from .engine import (
+    ShardScore,
+    score_graph_sharded,
+    service_refresh_scores,
+)
+from .planner import (
+    ContiguousShardPlanner,
+    DegreeBalancedShardPlanner,
+    ShardPlanner,
+    validate_plan,
+)
+from .shm import (
+    SharedGraph,
+    SharedGraphExport,
+    SharedGraphSpec,
+    attach_shared_graph,
+)
+
+__all__ = [
+    "ShardScore",
+    "score_graph_sharded",
+    "service_refresh_scores",
+    "ContiguousShardPlanner",
+    "DegreeBalancedShardPlanner",
+    "ShardPlanner",
+    "validate_plan",
+    "SharedGraph",
+    "SharedGraphExport",
+    "SharedGraphSpec",
+    "attach_shared_graph",
+]

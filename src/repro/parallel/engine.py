@@ -1,0 +1,404 @@
+"""Sharded multi-process scoring engine.
+
+Scoring is embarrassingly parallel over target nodes once sampling is
+counter-based: every draw depends on ``(seed, round, target)`` and never
+on batch layout, so a contiguous shard of the target range can be scored
+in any process and the results merged afterwards.  This module fans
+shards out to a ``ProcessPoolExecutor`` whose workers attach the graph
+from shared memory (:mod:`repro.parallel.shm`), rebuild the model once
+from a pickled parameter payload, and then score shard after shard with
+the *same* code path the serial engines use.
+
+Bitwise-identical merging
+-------------------------
+Floating-point accumulation is order-sensitive, so the merge does not
+sum per-shard partial sums.  Workers return their raw per-round edge
+contributions in target order; the parent replays them — rounds
+outermost, shards in ascending target order — reproducing the exact
+serial accumulation sequence.  Node evidence needs no replay: each
+target lives in exactly one shard and accumulates round-major inside
+the worker, just as the serial loop does.  With view augmentation off
+(and ``node_only``'s forward mask counter-based), the merged output is
+therefore bit-for-bit equal to :func:`repro.core.score_graph` and
+``ScoringService.refresh``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.model import Bourne
+from ..core.scoring import (
+    AnomalyScores,
+    finalize_scores,
+    inference_round_streams,
+)
+from ..graph.index import derive_stream_seed, derive_target_seeds, index_of
+from ..serving import service as serving_service
+from .planner import ContiguousShardPlanner, ShardPlanner, validate_plan
+from .shm import SharedGraph, SharedGraphExport, SharedGraphSpec, attach_shared_graph
+
+#: Stream tag for per-shard augmentation RNGs (only consumed when view
+#: augmentation is on, in which case output is distribution- but not
+#: bit-equal to serial).
+_SHARD_AUG_TAG = 13
+
+#: Worker-process state, populated once per worker by the initializer.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _model_payload(model: Bourne) -> tuple:
+    """Picklable ``(num_features, config, online, target)`` snapshot."""
+    online = {name: param.data for name, param in model.online.named_parameters()}
+    target = {name: param.data for name, param in model.target.named_parameters()}
+    return (model.num_features, model.config, online, target)
+
+
+def _rebuild_model(payload: tuple) -> Bourne:
+    num_features, config, online, target = payload
+    model = Bourne(num_features, config)
+    model.online.load_state_dict(online)
+    model.target.load_state_dict(target)
+    model.eval_mode()
+    return model
+
+
+def _init_worker(graph_spec: SharedGraphSpec, model_payload: tuple) -> None:
+    """Attach the shared graph and rebuild the model, once per worker."""
+    _WORKER_STATE["graph"] = attach_shared_graph(graph_spec)
+    _WORKER_STATE["model"] = _rebuild_model(model_payload)
+
+
+def _worker_context() -> Tuple[SharedGraph, Bourne]:
+    return _WORKER_STATE["graph"], _WORKER_STATE["model"]
+
+
+@dataclass
+class ShardScore:
+    """Raw evidence one worker collected for one contiguous shard.
+
+    Edge contributions are kept per round and in target order so the
+    parent can replay the serial accumulation sequence exactly.
+    """
+
+    start: int
+    stop: int
+    node_sum: np.ndarray
+    node_count: np.ndarray
+    edge_ids: List[np.ndarray]
+    edge_vals: List[np.ndarray]
+    forward_batches: int = 0
+
+
+def _concat_round(parts_ids: List[np.ndarray], parts_vals: List[np.ndarray]):
+    if parts_ids:
+        return np.concatenate(parts_ids), np.concatenate(parts_vals)
+    return np.zeros(0, dtype=np.int64), np.zeros(0)
+
+
+def _score_shard(task: tuple) -> ShardScore:
+    """Score one contiguous target shard (runs in a worker process).
+
+    Mirrors the serial ``score_graph`` inner loop: identical per-round
+    bases, identical per-target seeds, identical per-round forward mask
+    seeds — only the batch boundaries are shard-local, which the
+    batch-invariant sampler makes unobservable.
+    """
+    start, stop, round_bases, mask_seeds, batch_size = task[:5]
+    augment, seed, shard_index, fail = task[5:]
+    if fail:
+        raise RuntimeError(f"injected failure in shard {shard_index}")
+    graph, model = _worker_context()
+    width = stop - start
+    shard_stream = derive_stream_seed(seed, _SHARD_AUG_TAG, shard_index)
+    rng = np.random.default_rng(int(shard_stream))
+    node_sum = np.zeros(width)
+    node_count = np.zeros(width)
+    edge_ids: List[np.ndarray] = []
+    edge_vals: List[np.ndarray] = []
+    forwards = 0
+    targets = np.arange(start, stop, dtype=np.int64)
+    for round_index in range(len(round_bases)):
+        parts_ids: List[np.ndarray] = []
+        parts_vals: List[np.ndarray] = []
+        for offset in range(0, width, batch_size):
+            upto = min(offset + batch_size, width)
+            batch = targets[offset:upto]
+            target_seeds = derive_target_seeds(round_bases[round_index], batch)
+            gviews, hviews = model.prepare_batch(
+                graph,
+                batch,
+                rng=rng,
+                augment=augment,
+                sampler="batched",
+                target_seeds=target_seeds,
+            )
+            scores = model.forward_batch(
+                gviews, hviews, rng=rng, mask_seed=int(mask_seeds[round_index])
+            )
+            forwards += 1
+            if scores.node_scores is not None:
+                node_sum[offset:upto] += scores.node_scores.data
+                node_count[offset:upto] += 1
+            if scores.edge_scores is not None and len(scores.edge_orig_ids):
+                parts_ids.append(np.asarray(scores.edge_orig_ids, dtype=np.int64))
+                parts_vals.append(scores.edge_scores.data)
+        ids, vals = _concat_round(parts_ids, parts_vals)
+        edge_ids.append(ids)
+        edge_vals.append(vals)
+    return ShardScore(start, stop, node_sum, node_count, edge_ids, edge_vals, forwards)
+
+
+def _service_score_shard(task: tuple) -> ShardScore:
+    """Score one shard of a service miss queue (runs in a worker).
+
+    Replays ``ScoringService._score_targets`` exactly: the shared
+    ``sample_target_views`` builds the per-``(seed, round, target)``
+    views and each forward call gets the fresh per-round stream, so
+    every score is bitwise what the in-process service would produce.
+    """
+    targets, seed, rounds, max_batch, fail = task
+    if fail:
+        raise RuntimeError("injected failure in service shard")
+    graph, model = _worker_context()
+    from ..core.views import batch_graph_views, batch_hypergraph_views
+
+    width = len(targets)
+    node_sum = np.zeros(width)
+    node_count = np.zeros(width)
+    edge_ids: List[np.ndarray] = []
+    edge_vals: List[np.ndarray] = []
+    forwards = 0
+    for round_index in range(rounds):
+        parts_ids: List[np.ndarray] = []
+        parts_vals: List[np.ndarray] = []
+        for offset in range(0, width, max_batch):
+            upto = min(offset + max_batch, width)
+            chunk = targets[offset:upto]
+            views = serving_service.sample_target_views(
+                graph, chunk, round_index, seed, model.config
+            )
+            batched_g = batch_graph_views([pair[0] for pair in views])
+            batched_h = batch_hypergraph_views(
+                [pair[1] for pair in views], graph.num_features
+            )
+            scores = model.forward_batch(
+                batched_g,
+                batched_h,
+                rng=serving_service.forward_rng(seed, round_index),
+            )
+            forwards += 1
+            node_sum[offset:upto] += scores.node_scores.data
+            node_count[offset:upto] += 1
+            if scores.edge_scores is not None and len(scores.edge_orig_ids):
+                parts_ids.append(np.asarray(scores.edge_orig_ids, dtype=np.int64))
+                parts_vals.append(scores.edge_scores.data)
+        ids, vals = _concat_round(parts_ids, parts_vals)
+        edge_ids.append(ids)
+        edge_vals.append(vals)
+    return ShardScore(0, width, node_sum, node_count, edge_ids, edge_vals, forwards)
+
+
+def _mp_context(start_method: Optional[str]):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Fastest start on POSIX, and workers inherit sys.path setup.
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _plan_shards(
+    num_targets: int,
+    workers: int,
+    shards: Optional[int],
+    planner: Optional[ShardPlanner],
+    costs: Optional[np.ndarray],
+) -> List[Tuple[int, int]]:
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if shards is None:
+        shards = max(workers * 4, 1)
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    planner = planner if planner is not None else ContiguousShardPlanner()
+    plan = planner.plan(num_targets, shards, costs=costs)
+    return validate_plan(plan, num_targets)
+
+
+def _run_sharded(
+    export: SharedGraphExport,
+    model: Bourne,
+    worker_fn,
+    tasks: List[tuple],
+    workers: int,
+    start_method: Optional[str],
+) -> List[ShardScore]:
+    """Fan ``tasks`` out to a pool of ``workers`` processes.
+
+    Results come back in task (= shard) order.  A worker exception is
+    re-raised in the parent as ``RuntimeError`` naming the shard;
+    pending tasks are cancelled and the pool always shut down.
+    """
+    context = _mp_context(start_method)
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(export.spec, _model_payload(model)),
+    )
+    try:
+        futures = [pool.submit(worker_fn, task) for task in tasks]
+        results: List[ShardScore] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as error:
+                raise RuntimeError(
+                    f"sharded scoring failed in shard {index} "
+                    f"(of {len(tasks)}): {error}"
+                ) from error
+        return results
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def score_graph_sharded(
+    model: Bourne,
+    graph,
+    rounds: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    seed: Optional[int] = None,
+    workers: int = 2,
+    shards: Optional[int] = None,
+    planner: Optional[ShardPlanner] = None,
+    start_method: Optional[str] = None,
+    _fail_shard: Optional[int] = None,
+) -> AnomalyScores:
+    """Multi-process counterpart of :func:`repro.core.score_graph`.
+
+    Partitions the target range into contiguous shards, scores them in
+    ``workers`` processes, and merges the evidence in serial
+    accumulation order.  With view augmentation off the result is
+    bitwise-identical to the serial batched path for every shard/worker
+    count; ``node_only`` models are bitwise-identical even with their
+    forward mask on (it is counter-based per round).
+
+    ``_fail_shard`` is a test hook: the worker handling that shard
+    raises, exercising crash propagation.
+    """
+    cfg = model.config
+    rounds = rounds if rounds is not None else cfg.eval_rounds
+    batch_size = batch_size if batch_size is not None else cfg.batch_size
+    effective_seed = cfg.seed if seed is None else seed
+    _, round_bases, mask_seeds = inference_round_streams(cfg, rounds, seed)
+
+    index = index_of(graph)
+    num_nodes = index.num_nodes
+    degrees = index.degrees.astype(np.float64) + 1.0
+    plan = _plan_shards(num_nodes, workers, shards, planner, degrees)
+    tasks = [
+        (
+            start,
+            stop,
+            round_bases,
+            mask_seeds,
+            batch_size,
+            cfg.augment_at_inference,
+            effective_seed,
+            shard_index,
+            shard_index == _fail_shard,
+        )
+        for shard_index, (start, stop) in enumerate(plan)
+    ]
+
+    export = SharedGraphExport.create(graph.features, index)
+    try:
+        results = _run_sharded(
+            export, model, _score_shard, tasks, workers, start_method
+        )
+    finally:
+        export.destroy()
+
+    node_sum = np.zeros(num_nodes)
+    node_count = np.zeros(num_nodes)
+    edge_sum = np.zeros(index.num_edges)
+    edge_count = np.zeros(index.num_edges)
+    for result in results:
+        start, stop = result.start, result.stop
+        node_sum[start:stop] = result.node_sum
+        node_count[start:stop] = result.node_count
+    # Replay edge evidence in serial order: rounds outermost, then
+    # shards ascending — exactly the sequence the serial loop adds in.
+    for round_index in range(rounds):
+        for result in results:
+            ids = result.edge_ids[round_index]
+            if len(ids):
+                np.add.at(edge_sum, ids, result.edge_vals[round_index])
+                np.add.at(edge_count, ids, 1)
+    return finalize_scores(node_sum, node_count, edge_sum, edge_count)
+
+
+def service_refresh_scores(
+    service,
+    targets: np.ndarray,
+    workers: int = 2,
+    shards: Optional[int] = None,
+    planner: Optional[ShardPlanner] = None,
+    start_method: Optional[str] = None,
+    _fail_shard: Optional[int] = None,
+) -> Tuple[np.ndarray, Dict[int, float], int]:
+    """Drain a service miss queue through the sharded engine.
+
+    Returns ``(node_scores, edge_means, forward_batches)``: per-target
+    mean scores aligned with ``targets``, the per-edge-id mean evidence
+    to fold into the service's edge table, and the number of forward
+    batches the workers ran.  Node scores and edge means are
+    bitwise-identical to ``ScoringService._score_targets`` on the same
+    store state.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    store = service.store
+    index = store.index
+    degrees = index.degrees.astype(np.float64)
+    costs = degrees[targets] + 1.0
+    plan = _plan_shards(len(targets), workers, shards, planner, costs)
+    tasks = [
+        (
+            targets[start:stop],
+            service.seed,
+            service.rounds,
+            service.max_batch,
+            shard_index == _fail_shard,
+        )
+        for shard_index, (start, stop) in enumerate(plan)
+    ]
+
+    export = SharedGraphExport.create(store.features, index)
+    try:
+        results = _run_sharded(
+            export, service.model, _service_score_shard, tasks, workers, start_method
+        )
+    finally:
+        export.destroy()
+
+    sums = np.concatenate([result.node_sum for result in results])
+    scores = sums / service.rounds
+    edge_sums: Dict[int, float] = {}
+    edge_counts: Dict[int, int] = {}
+    for round_index in range(service.rounds):
+        for result in results:
+            ids = result.edge_ids[round_index]
+            vals = result.edge_vals[round_index]
+            for eid, value in zip(ids, vals):
+                eid = int(eid)
+                edge_sums[eid] = edge_sums.get(eid, 0.0) + float(value)
+                edge_counts[eid] = edge_counts.get(eid, 0) + 1
+    edge_means = {eid: total / edge_counts[eid] for eid, total in edge_sums.items()}
+    forward_batches = sum(result.forward_batches for result in results)
+    return scores, edge_means, forward_batches

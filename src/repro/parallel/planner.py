@@ -1,0 +1,116 @@
+"""Shard planners: partition a target range into contiguous shards.
+
+The sharded engine merges per-shard results by replaying them in plan
+order, which reproduces the serial accumulation order bit-for-bit only
+when the plan is a *contiguous, ascending partition* of the target
+range.  Planners therefore choose shard **boundaries**, never target
+permutations; :func:`validate_plan` enforces the contract so custom
+planners cannot silently break the bitwise-equality guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: A shard is a half-open target range ``[start, stop)``.
+Shard = Tuple[int, int]
+
+
+class ShardPlanner:
+    """Strategy interface for partitioning ``num_targets`` into shards."""
+
+    def plan(
+        self,
+        num_targets: int,
+        num_shards: int,
+        costs: Optional[np.ndarray] = None,
+    ) -> List[Shard]:
+        """Return contiguous ``[start, stop)`` ranges covering all targets.
+
+        ``costs`` (optional, one non-negative weight per target) lets a
+        planner balance expected work instead of target counts; planners
+        are free to ignore it.  Empty shards are allowed — callers that
+        request more shards than targets still get a full partition.
+        """
+        raise NotImplementedError
+
+
+class ContiguousShardPlanner(ShardPlanner):
+    """Even split by target count (the default)."""
+
+    def plan(
+        self,
+        num_targets: int,
+        num_shards: int,
+        costs: Optional[np.ndarray] = None,
+    ) -> List[Shard]:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        bounds = [(num_targets * i) // num_shards for i in range(num_shards + 1)]
+        return [(bounds[i], bounds[i + 1]) for i in range(num_shards)]
+
+
+class DegreeBalancedShardPlanner(ShardPlanner):
+    """Split at even *cumulative cost*, not even target count.
+
+    With per-target degrees as costs, hub-heavy prefixes of the target
+    range no longer serialize the whole pool behind one hot shard.
+    Falls back to the even split when no costs are provided.
+    """
+
+    def plan(
+        self,
+        num_targets: int,
+        num_shards: int,
+        costs: Optional[np.ndarray] = None,
+    ) -> List[Shard]:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if costs is None or num_targets == 0:
+            return ContiguousShardPlanner().plan(num_targets, num_shards)
+        costs = np.asarray(costs, dtype=np.float64)
+        if costs.shape != (num_targets,):
+            raise ValueError(
+                f"costs must have shape ({num_targets},), got {costs.shape}"
+            )
+        if (costs < 0).any():
+            raise ValueError("costs must be non-negative")
+        cumulative = np.cumsum(costs)
+        total = float(cumulative[-1])
+        if total <= 0.0:
+            return ContiguousShardPlanner().plan(num_targets, num_shards)
+        quotas = total * np.arange(1, num_shards) / num_shards
+        cuts = np.searchsorted(cumulative, quotas, side="left")
+        bounds = [0] + [int(c) + 1 for c in cuts] + [num_targets]
+        # Monotone clip: tiny shards can collapse to empty, never overlap.
+        for i in range(1, len(bounds)):
+            bounds[i] = min(max(bounds[i], bounds[i - 1]), num_targets)
+        return [(bounds[i], bounds[i + 1]) for i in range(num_shards)]
+
+
+def validate_plan(plan: List[Shard], num_targets: int) -> List[Shard]:
+    """Check that ``plan`` is a contiguous ascending partition.
+
+    Raises ``ValueError`` otherwise — a malformed plan would produce
+    silently wrong (non-serial-equivalent) merged scores.
+    """
+    if not plan:
+        raise ValueError("shard plan is empty")
+    expected = 0
+    for start, stop in plan:
+        if start != expected:
+            raise ValueError(
+                f"shard plan is not a contiguous partition: expected a shard "
+                f"starting at {expected}, got [{start}, {stop})"
+            )
+        if stop < start:
+            raise ValueError(f"shard [{start}, {stop}) has negative length")
+        expected = stop
+    if expected != num_targets:
+        raise ValueError(
+            f"shard plan covers [0, {expected}) but there are "
+            f"{num_targets} targets"
+        )
+    return [(int(start), int(stop)) for start, stop in plan]

@@ -1,0 +1,193 @@
+"""Shared-memory graph export for multi-process scoring.
+
+Worker processes need two things to sample and score a shard: the node
+feature matrix and the :class:`~repro.graph.index.GraphIndex` arrays
+(CSR adjacency + sorted edge keys).  Re-pickling those per worker would
+copy the whole graph ``workers`` times and re-building the index would
+redo the edge-key sort, so instead the parent places every array into
+POSIX shared memory once and ships only a tiny picklable spec; workers
+attach the same pages read-only and adopt the pre-sorted arrays via
+:meth:`GraphIndex.from_arrays`.
+
+Lifecycle: the parent owns the segments (:class:`SharedGraphExport`),
+workers attach via :func:`attach_shared_graph` and keep the blocks
+referenced for the life of the pool, and the parent unlinks everything
+after the pool shuts down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.index import GraphIndex
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle for one array living in a shared-memory block.
+
+    ``shm_name`` is ``None`` for empty arrays, which are rebuilt
+    locally (zero-size shared-memory blocks are not portable).
+    """
+
+    shm_name: Optional[str]
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedGraphSpec:
+    """Everything a worker needs to reattach the parent's graph."""
+
+    num_nodes: int
+    arrays: Dict[str, SharedArraySpec]
+
+
+class SharedGraph:
+    """Read-only graph view over attached shared-memory arrays.
+
+    Implements the sampler protocol (``features``, ``num_nodes``,
+    ``index``) that :func:`repro.graph.sampling.sample_enclosing_subgraphs`
+    and :meth:`repro.core.model.Bourne.prepare_batch` consume; the
+    underlying buffers stay alive for as long as this object is
+    referenced.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        index: GraphIndex,
+        blocks: List[shared_memory.SharedMemory],
+    ):
+        self.features = features
+        self.index = index
+        self._blocks = blocks
+
+    @property
+    def num_nodes(self) -> int:
+        return self.index.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.index.num_edges
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    def close(self) -> None:
+        """Detach the shared-memory blocks (worker-side cleanup)."""
+        self.features = None
+        self.index = None
+        while self._blocks:
+            block = self._blocks.pop()
+            try:
+                block.close()
+            except OSError:
+                pass
+
+
+def _export_array(
+    value: np.ndarray,
+    blocks: List[shared_memory.SharedMemory],
+) -> SharedArraySpec:
+    value = np.ascontiguousarray(value)
+    if value.size == 0:
+        return SharedArraySpec(None, value.shape, value.dtype.str)
+    block = shared_memory.SharedMemory(create=True, size=value.nbytes)
+    blocks.append(block)
+    view = np.ndarray(value.shape, dtype=value.dtype, buffer=block.buf)
+    view[...] = value
+    return SharedArraySpec(block.name, value.shape, value.dtype.str)
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    # Attaching re-registers the segment with the resource tracker the
+    # pool shares with the parent; that is idempotent (the tracker keeps
+    # a set), and only the parent ever unlinks, so ownership stays
+    # single despite CPython < 3.13 tracking every attach.
+    return shared_memory.SharedMemory(name=name)
+
+
+def _attach_array(
+    spec: SharedArraySpec,
+    blocks: List[shared_memory.SharedMemory],
+) -> np.ndarray:
+    if spec.shm_name is None:
+        return np.zeros(spec.shape, dtype=np.dtype(spec.dtype))
+    block = _attach_block(spec.shm_name)
+    blocks.append(block)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=block.buf)
+    view.flags.writeable = False
+    return view
+
+
+class SharedGraphExport:
+    """Parent-side owner of a graph placed into shared memory."""
+
+    def __init__(
+        self,
+        spec: SharedGraphSpec,
+        blocks: List[shared_memory.SharedMemory],
+    ):
+        self.spec = spec
+        self._blocks = blocks
+
+    @classmethod
+    def create(cls, features: np.ndarray, index: GraphIndex) -> "SharedGraphExport":
+        """Export ``features`` plus a built :class:`GraphIndex`.
+
+        The index arrays are exported as-is (already sorted), so
+        workers reconstruct it with zero computation.
+        """
+        blocks: List[shared_memory.SharedMemory] = []
+        arrays = index.to_arrays()
+        try:
+            specs = {"features": _export_array(features, blocks)}
+            for name in ("indptr", "indices", "edge_keys", "edge_key_ids"):
+                specs[name] = _export_array(arrays[name], blocks)
+        except Exception:
+            for block in blocks:
+                block.close()
+                block.unlink()
+            raise
+        return cls(SharedGraphSpec(index.num_nodes, specs), blocks)
+
+    def destroy(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        while self._blocks:
+            block = self._blocks.pop()
+            try:
+                block.close()
+                block.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SharedGraphExport":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.destroy()
+
+
+def attach_shared_graph(spec: SharedGraphSpec) -> SharedGraph:
+    """Worker-side reconstruction of the parent's graph (no copies)."""
+    blocks: List[shared_memory.SharedMemory] = []
+    try:
+        features = _attach_array(spec.arrays["features"], blocks)
+        index = GraphIndex.from_arrays(
+            spec.num_nodes,
+            _attach_array(spec.arrays["indptr"], blocks),
+            _attach_array(spec.arrays["indices"], blocks),
+            _attach_array(spec.arrays["edge_keys"], blocks),
+            _attach_array(spec.arrays["edge_key_ids"], blocks),
+        )
+    except Exception:
+        for block in blocks:
+            block.close()
+        raise
+    return SharedGraph(features, index, blocks)

@@ -55,6 +55,57 @@ _SAMPLING_FIELDS = ("hop_size", "subgraph_size", "feature_mask_prob",
                     "incidence_drop_prob", "augment_at_inference")
 
 
+# ----------------------------------------------------------------------
+# Deterministic serving streams (module-level so the sharded refresh
+# workers replay the exact streams the in-process service uses)
+# ----------------------------------------------------------------------
+def sampling_base(seed: int, round_index: int) -> np.uint64:
+    """Base of the counter-based sampling seeds for one round; the batch
+    sampler folds it with each target id, so draws depend on
+    ``(seed, round, target)`` only — never on batch layout."""
+    return derive_stream_seed(seed, 0, round_index)
+
+
+def view_rng(seed: int, target: int, round_index: int) -> np.random.Generator:
+    """Per-``(target, round)`` stream for view augmentation."""
+    return np.random.default_rng((seed, 0, round_index, int(target)))
+
+
+def forward_rng(seed: int, round_index: int) -> np.random.Generator:
+    """Per-round forward stream; fresh per forward call so every
+    micro-batch of a round draws identically (the ``node_only`` mask is
+    its first draw)."""
+    return np.random.default_rng((seed, 1, round_index))
+
+
+def sample_target_views(graph_like, targets: np.ndarray, round_index: int,
+                        seed: int, config) -> list:
+    """Sample + build the ``(graph_view, hyper_view)`` pairs of one round.
+
+    One vectorized batch sampling call, then per-target view
+    construction with the per-``(target, round)`` augmentation streams.
+    Pure function of ``(topology, seed, round, targets)`` — the service
+    miss path and the sharded refresh workers both call it, which is
+    what keeps their scores bitwise-identical.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    seeds = derive_target_seeds(sampling_base(seed, round_index), targets)
+    sampled = sample_enclosing_subgraphs(
+        graph_like, targets, k=config.hop_size,
+        size=config.subgraph_size, target_seeds=seeds)
+    views = []
+    for i, target in enumerate(targets):
+        sub = sampled.view(i)
+        graph_view = build_graph_view(sub)
+        hyper_view = build_hypergraph_view(
+            sub, view_rng(seed, int(target), round_index),
+            feature_mask_prob=config.feature_mask_prob,
+            incidence_drop_prob=config.incidence_drop_prob,
+            augment=config.augment_at_inference)
+        views.append((graph_view, hyper_view))
+    return views
+
+
 class PendingScore:
     """Handle for an enqueued request; resolved by ``flush()``."""
 
@@ -165,17 +216,13 @@ class ScoringService:
     # RNG streams (deterministic, batch-independent)
     # ------------------------------------------------------------------
     def _sampling_base(self, round_index: int) -> np.uint64:
-        """Base of the counter-based sampling seeds for one round; the
-        batch sampler folds it with each target id, so draws depend on
-        ``(seed, round, target)`` only — never on batch layout."""
-        return derive_stream_seed(self.seed, 0, round_index)
+        return sampling_base(self.seed, round_index)
 
     def _view_rng(self, target: int, round_index: int) -> np.random.Generator:
-        """Per-``(target, round)`` stream for view augmentation."""
-        return np.random.default_rng((self.seed, 0, round_index, int(target)))
+        return view_rng(self.seed, target, round_index)
 
     def _forward_rng(self, round_index: int) -> np.random.Generator:
-        return np.random.default_rng((self.seed, 1, round_index))
+        return forward_rng(self.seed, round_index)
 
     # ------------------------------------------------------------------
     # Request path
@@ -269,14 +316,26 @@ class ScoringService:
     # ------------------------------------------------------------------
     # Incremental refresh
     # ------------------------------------------------------------------
-    def refresh(self) -> RefreshResult:
+    def refresh(self, workers: Optional[int] = None,
+                shards: Optional[int] = None) -> RefreshResult:
         """Bring the full score table up to date, re-scoring only nodes
-        whose neighbourhood changed since their last score."""
+        whose neighbourhood changed since their last score.
+
+        ``workers > 1`` drains the stale set through the sharded scoring
+        engine (:mod:`repro.parallel`): the store's features and index
+        go into shared memory once, worker processes score contiguous
+        shards of the miss queue with the *same* per-``(seed, round,
+        target)`` streams the in-process path uses, and the merged node
+        and edge tables are bitwise-identical to a serial refresh.
+        """
         n = self.store.num_nodes
         stale = [node for node in range(n)
                  if (entry := self._node_table.get(node)) is None
                  or entry[1] < self.store.region_version(node)]
-        if stale:
+        if stale and workers is not None and workers > 1:
+            self._refresh_sharded(np.asarray(stale, dtype=np.int64),
+                                  workers, shards)
+        elif stale:
             targets = np.asarray(stale, dtype=np.int64)
             scores = self._score_targets(targets)
             version = self.store.version
@@ -286,6 +345,23 @@ class ScoringService:
         return RefreshResult(scores=table,
                              rescored=np.asarray(stale, dtype=np.int64),
                              version=self.store.version)
+
+    def _refresh_sharded(self, targets: np.ndarray, workers: int,
+                         shards: Optional[int]) -> None:
+        """Score ``targets`` through the multi-process engine and fold
+        the results into the node/edge tables exactly like
+        :meth:`_score_targets` would."""
+        from ..parallel import service_refresh_scores
+
+        scores, edge_means, forward_batches = service_refresh_scores(
+            self, targets, workers=workers, shards=shards)
+        version = self.store.version
+        for node, score in zip(targets, scores):
+            self._node_table[int(node)] = (float(score), version)
+        for eid, mean in edge_means.items():
+            self._edge_table[self.store.edge_key(eid)] = (mean, version)
+        self._forward_batches += forward_batches
+        self._nodes_scored += len(targets)
 
     # ------------------------------------------------------------------
     # Model hot-swap
@@ -316,7 +392,13 @@ class ScoringService:
     # Scoring internals
     # ------------------------------------------------------------------
     def _score_targets(self, targets: np.ndarray) -> np.ndarray:
-        """Mean score over ``rounds`` forward passes for ``targets``."""
+        """Mean score over ``rounds`` forward passes for ``targets``.
+
+        NOTE: ``repro.parallel.engine._service_score_shard`` mirrors
+        this loop (minus the cache); changes to the accumulation here
+        must be mirrored there — the sharded-refresh pin tests catch
+        drift.
+        """
         sums = np.zeros(len(targets))
         edge_sums: Dict[int, float] = {}
         edge_counts: Dict[int, int] = {}
@@ -365,22 +447,11 @@ class ScoringService:
             else:
                 entries[target] = entry
         if misses:
-            cfg = self.model.config
             miss_targets = np.asarray(misses, dtype=np.int64)
-            seeds = derive_target_seeds(self._sampling_base(round_index),
-                                        miss_targets)
-            sampled = sample_enclosing_subgraphs(
-                self.store, miss_targets, k=cfg.hop_size,
-                size=cfg.subgraph_size, target_seeds=seeds)
+            built = sample_target_views(self.store, miss_targets, round_index,
+                                        self.seed, self.model.config)
             version = self.store.version
-            for i, target in enumerate(misses):
-                sub = sampled.view(i)
-                graph_view = build_graph_view(sub)
-                hyper_view = build_hypergraph_view(
-                    sub, self._view_rng(target, round_index),
-                    feature_mask_prob=cfg.feature_mask_prob,
-                    incidence_drop_prob=cfg.incidence_drop_prob,
-                    augment=cfg.augment_at_inference)
+            for target, (graph_view, hyper_view) in zip(misses, built):
                 entries[target] = self.cache.put(
                     (target, round_index), graph_view, hyper_view, version)
         return [entries[int(target)] for target in chunk]

@@ -95,7 +95,7 @@ class GraphStore:
         """Wrap an existing :class:`Graph` (labels included) in a store."""
         store = cls(graph.features, graph.edges, node_labels=graph.node_labels,
                     name=graph.name, influence_radius=influence_radius)
-        store._edge_labels = [int(l) for l in graph.edge_labels]
+        store._edge_labels = [int(label) for label in graph.edge_labels]
         return store
 
     # ------------------------------------------------------------------
@@ -256,7 +256,7 @@ class GraphStore:
         if labels is None:
             self._node_labels.extend([0] * count)
         else:
-            labels = [int(l) for l in labels]
+            labels = [int(label) for label in labels]
             if len(labels) != count:
                 raise ValueError("labels length must match number of new nodes")
             self._node_labels.extend(labels)

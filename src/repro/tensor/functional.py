@@ -7,11 +7,10 @@ families, row normalization, cosine similarity, and dropout.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
-from .autograd import Tensor, as_tensor, is_grad_enabled
+from .autograd import Tensor, as_tensor
 
 EPS = 1e-12
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import AANE, EDGE_BASELINES, GAE, UGED
+from repro.baselines import AANE, EDGE_BASELINES, UGED
 from repro.baselines.base import sample_negative_edges
 from repro.metrics import roc_auc_score
 

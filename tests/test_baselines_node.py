@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import (
     NODE_BASELINES,
     Anomalous,
-    AnomalyDAE,
     CoLA,
     DGI,
     Dominant,

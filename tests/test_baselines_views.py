@@ -1,9 +1,8 @@
 """Tests for the contrastive baselines' RWR view machinery."""
 
 import numpy as np
-import pytest
 
-from repro.baselines.subgraph_views import RWRBatch, build_rwr_batch
+from repro.baselines.subgraph_views import build_rwr_batch
 
 
 class TestRWRBatch:

@@ -1,0 +1,106 @@
+"""The benchmark regression gate (scripts/check_bench.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "..", "scripts", "check_bench.py")
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location("check_bench", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return str(path)
+
+
+class TestIterSpeedups:
+    def test_finds_nested_numeric_speedups_only(self, check_bench):
+        report = {
+            "score_graph": {"speedup": 4.5, "seconds": 1.0},
+            "speedup_at_4_workers": 2.5,
+            "target_speedup": 3.0,           # config constant, not a metric
+            "pass": True,                    # bool never counts as metric
+            "notes": {"speedup_story": "text"},
+        }
+        found = dict(check_bench.iter_speedups(report))
+        assert found == {"score_graph.speedup": 4.5,
+                         "speedup_at_4_workers": 2.5}
+
+    def test_lookup_walks_dotted_paths(self, check_bench):
+        report = {"a": {"b": {"c_speedup": 3.0}}}
+        assert check_bench.lookup(report, "a.b.c_speedup") == 3.0
+        assert check_bench.lookup(report, "a.missing") is None
+
+
+class TestGate:
+    def test_passes_within_tolerance(self, check_bench, tmp_path):
+        base = write(tmp_path / "base.json", {"x_speedup": 4.0})
+        fresh = write(tmp_path / "fresh.json", {"x_speedup": 3.3})
+        assert check_bench.main([f"--pair={base}={fresh}",
+                                 "--tolerance=0.8"]) == 0
+
+    def test_fails_below_tolerance(self, check_bench, tmp_path):
+        base = write(tmp_path / "base.json", {"x_speedup": 4.0})
+        fresh = write(tmp_path / "fresh.json", {"x_speedup": 3.0})
+        assert check_bench.main([f"--pair={base}={fresh}",
+                                 "--tolerance=0.8"]) == 1
+
+    def test_absolute_target_caps_the_floor(self, check_bench, tmp_path):
+        """A baseline recorded on faster hardware must not push the
+        relative floor above the benchmark's own absolute bar."""
+        base = write(tmp_path / "base.json",
+                     {"x_speedup": 4.5, "target_speedup": 3.0})
+        fresh = write(tmp_path / "fresh.json",
+                      {"x_speedup": 3.2, "target_speedup": 3.0})
+        # 0.8 * 4.5 = 3.6 would fail, but the floor is capped at 3.0.
+        assert check_bench.main([f"--pair={base}={fresh}",
+                                 "--tolerance=0.8"]) == 0
+        below = write(tmp_path / "below.json",
+                      {"x_speedup": 2.9, "target_speedup": 3.0})
+        assert check_bench.main([f"--pair={base}={below}",
+                                 "--tolerance=0.8"]) == 1
+
+    def test_fails_on_missing_metric(self, check_bench, tmp_path):
+        base = write(tmp_path / "base.json", {"x_speedup": 4.0})
+        fresh = write(tmp_path / "fresh.json", {"other": 1.0})
+        assert check_bench.main([f"--pair={base}={fresh}"]) == 1
+
+    def test_fails_when_fresh_report_failed_its_own_target(self, check_bench,
+                                                           tmp_path):
+        base = write(tmp_path / "base.json", {"x_speedup": 1.0})
+        fresh = write(tmp_path / "fresh.json",
+                      {"x_speedup": 9.9, "pass": False})
+        assert check_bench.main([f"--pair={base}={fresh}"]) == 1
+
+    def test_skipped_absolute_target_is_not_a_failure(self, check_bench,
+                                                      tmp_path):
+        base = write(tmp_path / "base.json", {"x_speedup": 1.0})
+        fresh = write(tmp_path / "fresh.json",
+                      {"x_speedup": 1.0, "pass": None})
+        assert check_bench.main([f"--pair={base}={fresh}"]) == 0
+
+    def test_multiple_pairs_aggregate(self, check_bench, tmp_path):
+        good_b = write(tmp_path / "gb.json", {"s_speedup": 2.0})
+        good_f = write(tmp_path / "gf.json", {"s_speedup": 2.0})
+        bad_b = write(tmp_path / "bb.json", {"s_speedup": 2.0})
+        bad_f = write(tmp_path / "bf.json", {"s_speedup": 0.5})
+        assert check_bench.main([f"--pair={good_b}={good_f}",
+                                 f"--pair={bad_b}={bad_f}"]) == 1
+
+    def test_rejects_malformed_pair_and_tolerance(self, check_bench, tmp_path):
+        with pytest.raises(SystemExit):
+            check_bench.main(["--pair=only-one-path"])
+        base = write(tmp_path / "b.json", {"x_speedup": 1.0})
+        with pytest.raises(SystemExit):
+            check_bench.main([f"--pair={base}={base}", "--tolerance=1.5"])

@@ -118,8 +118,7 @@ class TestSageBackbone:
 
 class TestHeadlineExperiment:
     def test_headline_aggregation(self):
-        from repro.eval.experiments import headline, table3
-        result = table3.run.__module__  # ensure import side effects fine
+        from repro.eval.experiments import headline
         from repro.eval.experiments.common import ExperimentResult
         fake = ExperimentResult(
             experiment="table3_nad",

@@ -1,7 +1,5 @@
 """Tests for the evaluation harness: profiles, runner, reporting, profiling."""
 
-import os
-
 import numpy as np
 import pytest
 
@@ -9,7 +7,6 @@ from repro.eval import (
     DEFAULT,
     FULL,
     QUICK,
-    EvalProfile,
     bourne_config,
     format_series,
     format_table,

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph import (
-    Graph,
     Hypergraph,
     dual_hypergraph,
     edge_features,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import Linear, MLP, Module, Parameter, Sequential, Tanh
+from repro.nn import Linear, Module, Parameter, Sequential, Tanh
 
 
 class _Block(Module):

@@ -1,0 +1,249 @@
+"""Sharded multi-process scoring: bitwise equality, edge cases, crashes.
+
+The engine's contract is that sharding is *unobservable*: any
+``(workers, shards)`` combination merges to the exact bits the serial
+batched path produces (augmentation off; ``node_only``'s counter-based
+forward mask included).  These tests pin that contract plus the shard
+planner's partition invariants, the shared-memory round trip, and
+worker-crash propagation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Bourne, BourneConfig, score_graph
+from repro.core.views import seeded_mask_features
+from repro.graph import Graph, GraphIndex
+from repro.parallel import (
+    ContiguousShardPlanner,
+    DegreeBalancedShardPlanner,
+    SharedGraphExport,
+    attach_shared_graph,
+    score_graph_sharded,
+    service_refresh_scores,
+    validate_plan,
+)
+from repro.serving import ScoringService
+
+
+def small_graph(seed=0, num_nodes=48, num_edges=110):
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        u, v = (int(x) for x in rng.integers(0, num_nodes, 2))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(rng.normal(size=(num_nodes, 6)), np.array(sorted(edges)),
+                 name="parallel-test")
+
+
+def tiny_config(**overrides):
+    base = dict(hidden_dim=8, predictor_hidden=16, subgraph_size=4,
+                hop_size=2, eval_rounds=2, batch_size=16, seed=3,
+                augment_at_inference=False)
+    base.update(overrides)
+    return BourneConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return small_graph()
+
+
+@pytest.fixture(scope="module")
+def model(graph):
+    return Bourne(graph.num_features, tiny_config())
+
+
+@pytest.fixture(scope="module")
+def serial_scores(model, graph):
+    return score_graph(model, graph)
+
+
+class TestBitwiseEquality:
+    @pytest.mark.parametrize("workers,shards", [(2, None), (3, 7)])
+    def test_matches_serial(self, model, graph, serial_scores, workers, shards):
+        result = score_graph(model, graph, workers=workers, shards=shards)
+        np.testing.assert_array_equal(result.node_scores,
+                                      serial_scores.node_scores)
+        np.testing.assert_array_equal(result.edge_scores,
+                                      serial_scores.edge_scores)
+        np.testing.assert_array_equal(result.node_rounds,
+                                      serial_scores.node_rounds)
+        np.testing.assert_array_equal(result.edge_rounds,
+                                      serial_scores.edge_rounds)
+
+    def test_single_shard_and_degree_balanced_planner(self, model, graph,
+                                                      serial_scores):
+        one = score_graph(model, graph, workers=2, shards=1)
+        np.testing.assert_array_equal(one.node_scores,
+                                      serial_scores.node_scores)
+        balanced = score_graph(model, graph, workers=2, shards=4,
+                               planner=DegreeBalancedShardPlanner())
+        np.testing.assert_array_equal(balanced.node_scores,
+                                      serial_scores.node_scores)
+        np.testing.assert_array_equal(balanced.edge_scores,
+                                      serial_scores.edge_scores)
+
+    def test_more_shards_than_targets(self, model, graph, serial_scores):
+        """shards > N forces empty shards; the merge must ignore them."""
+        result = score_graph(model, graph, workers=2,
+                             shards=graph.num_nodes + 25)
+        np.testing.assert_array_equal(result.node_scores,
+                                      serial_scores.node_scores)
+        np.testing.assert_array_equal(result.edge_scores,
+                                      serial_scores.edge_scores)
+
+    def test_per_target_sampler_rejects_workers(self, model, graph):
+        with pytest.raises(ValueError, match="sampler"):
+            score_graph(model, graph, workers=2, sampler="per_target")
+
+
+class TestCrashPropagation:
+    def test_worker_exception_reaches_parent(self, model, graph):
+        with pytest.raises(RuntimeError, match="shard 2"):
+            score_graph_sharded(model, graph, workers=2, shards=4,
+                                _fail_shard=2)
+
+    def test_failure_does_not_leak_shared_memory(self, model, graph):
+        # The engine unlinks its segments even on worker failure; a
+        # subsequent run must start clean and still be bitwise-correct.
+        with pytest.raises(RuntimeError):
+            score_graph_sharded(model, graph, workers=2, shards=3,
+                                _fail_shard=0)
+        serial = score_graph(model, graph)
+        again = score_graph(model, graph, workers=2, shards=3)
+        np.testing.assert_array_equal(again.node_scores, serial.node_scores)
+
+
+class TestNodeOnlyMask:
+    def test_seeded_mask_deterministic(self):
+        features = np.ones((5, 32))
+        one = seeded_mask_features(features, 0.5, 12345)
+        two = seeded_mask_features(features, 0.5, 12345)
+        np.testing.assert_array_equal(one, two)
+        other = seeded_mask_features(features, 0.5, 54321)
+        assert not np.array_equal(one, other)
+        # prob=0 is the identity (and returns the input array itself)
+        assert seeded_mask_features(features, 0.0, 7) is features
+
+    def test_node_only_invariant_to_batch_and_shards(self, graph):
+        """The forward mask is per-round counter-based, so augmented
+        node_only inference no longer depends on batch size or on
+        sharding (the ROADMAP follow-up this PR closes)."""
+        config = tiny_config(mode="node_only", augment_at_inference=True,
+                             eval_rounds=2)
+        model = Bourne(graph.num_features, config)
+        small = score_graph(model, graph, batch_size=7)
+        large = score_graph(model, graph, batch_size=64)
+        np.testing.assert_array_equal(small.node_scores, large.node_scores)
+        sharded = score_graph(model, graph, workers=2, shards=5)
+        np.testing.assert_array_equal(small.node_scores, sharded.node_scores)
+
+
+class TestShardPlanner:
+    def test_contiguous_partition(self):
+        plan = ContiguousShardPlanner().plan(10, 3)
+        assert plan == [(0, 3), (3, 6), (6, 10)]
+        assert validate_plan(plan, 10) == plan
+
+    def test_empty_shards_allowed(self):
+        plan = ContiguousShardPlanner().plan(2, 5)
+        assert [stop - start for start, stop in plan].count(0) == 3
+        validate_plan(plan, 2)
+
+    def test_zero_targets(self):
+        plan = ContiguousShardPlanner().plan(0, 4)
+        assert plan == [(0, 0)] * 4
+        validate_plan(plan, 0)
+
+    def test_degree_balanced_is_partition(self):
+        costs = np.array([100.0, 1, 1, 1, 1, 1, 1, 1])
+        plan = DegreeBalancedShardPlanner().plan(8, 4, costs=costs)
+        validate_plan(plan, 8)
+        # The hub gets its own shard instead of dragging half the range.
+        assert plan[0] == (0, 1)
+
+    def test_validate_rejects_gap_overlap_and_short_plans(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            validate_plan([(0, 3), (4, 10)], 10)
+        with pytest.raises(ValueError, match="contiguous"):
+            validate_plan([(0, 5), (3, 10)], 10)
+        with pytest.raises(ValueError, match="covers"):
+            validate_plan([(0, 5)], 10)
+        with pytest.raises(ValueError, match="empty"):
+            validate_plan([], 0)
+
+    def test_bad_shard_counts(self):
+        with pytest.raises(ValueError):
+            ContiguousShardPlanner().plan(5, 0)
+        with pytest.raises(ValueError):
+            DegreeBalancedShardPlanner().plan(5, 4, costs=np.ones(3))
+
+
+class TestSharedGraph:
+    def test_roundtrip(self, graph):
+        export = SharedGraphExport.create(graph.features, graph.index)
+        try:
+            attached = attach_shared_graph(export.spec)
+            np.testing.assert_array_equal(attached.features, graph.features)
+            assert attached.num_nodes == graph.num_nodes
+            assert attached.num_edges == graph.num_edges
+            np.testing.assert_array_equal(attached.index.indptr,
+                                          graph.index.indptr)
+            np.testing.assert_array_equal(attached.index.neighbors(0),
+                                          graph.neighbors(0))
+            assert not attached.features.flags.writeable
+            attached.close()
+        finally:
+            export.destroy()
+            export.destroy()  # idempotent
+
+    def test_index_export_roundtrip(self, graph):
+        arrays = graph.index.to_arrays()
+        rebuilt = GraphIndex.from_arrays(**arrays)
+        np.testing.assert_array_equal(rebuilt.edge_keys, graph.index.edge_keys)
+        lo, hi = graph.edges[:, 0], graph.edges[:, 1]
+        np.testing.assert_array_equal(rebuilt.lookup_edge_ids(lo, hi),
+                                      np.arange(graph.num_edges))
+
+
+class TestServiceShardedRefresh:
+    def test_refresh_matches_serial_bitwise(self, graph):
+        config = tiny_config(eval_rounds=2)
+        model = Bourne(graph.num_features, config)
+        serial = ScoringService(model, graph.copy(), rounds=2)
+        sharded = ScoringService(model, graph.copy(), rounds=2)
+        expected = serial.refresh()
+        result = sharded.refresh(workers=2, shards=3)
+        np.testing.assert_array_equal(result.scores, expected.scores)
+        np.testing.assert_array_equal(result.rescored, expected.rescored)
+        assert serial._edge_table.keys() == sharded._edge_table.keys()
+        for key, (value, _) in serial._edge_table.items():
+            assert sharded._edge_table[key][0] == value
+        # Stats reflect the drained miss queue.
+        assert sharded.stats()["nodes_scored"] == graph.num_nodes
+        assert sharded.stats()["forward_batches"] > 0
+
+    def test_refresh_after_mutation_matches_serial(self, graph):
+        config = tiny_config(eval_rounds=2)
+        model = Bourne(graph.num_features, config)
+        serial = ScoringService(model, graph.copy(), rounds=2)
+        sharded = ScoringService(model, graph.copy(), rounds=2)
+        serial.refresh()
+        sharded.refresh(workers=2)
+        for service in (serial, sharded):
+            service.store.add_edge(0, graph.num_nodes - 1)
+        expected = serial.refresh()
+        result = sharded.refresh(workers=2)
+        np.testing.assert_array_equal(result.rescored, expected.rescored)
+        np.testing.assert_array_equal(result.scores, expected.scores)
+
+    def test_refresh_crash_propagates(self, graph):
+        config = tiny_config(eval_rounds=2)
+        model = Bourne(graph.num_features, config)
+        service = ScoringService(model, graph.copy(), rounds=2)
+        with pytest.raises(RuntimeError, match="shard"):
+            service_refresh_scores(service,
+                                   np.arange(graph.num_nodes),
+                                   workers=2, shards=3, _fail_shard=1)

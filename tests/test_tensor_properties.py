@@ -3,7 +3,7 @@
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra.numpy import array_shapes, arrays
+from hypothesis.extra.numpy import arrays
 
 from repro.tensor import Tensor, gradcheck
 
