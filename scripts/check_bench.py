@@ -2,16 +2,18 @@
 """Benchmark regression gate: fresh reports vs. committed baselines.
 
 Compares every numeric ``*speedup*`` metric of freshly produced
-benchmark reports (``BENCH_sampling.json``, ``BENCH_parallel.json``)
-against the committed baseline copies and fails when a fresh value
-drops below ``tolerance`` times its baseline — the blocking replacement
-for the old ``continue-on-error`` benchmark step.
+benchmark reports (``BENCH_sampling.json``, ``BENCH_parallel.json``,
+``BENCH_training.json``) against the committed baseline copies and
+fails when a fresh value drops below ``tolerance`` times its baseline —
+the blocking replacement for the old ``continue-on-error`` benchmark
+step.
 
 Usage::
 
     python scripts/check_bench.py --tolerance 0.8 \\
         --pair baseline_sampling.json=BENCH_sampling.json \\
-        --pair baseline_parallel.json=BENCH_parallel.json
+        --pair baseline_parallel.json=BENCH_parallel.json \\
+        --pair baseline_training.json=BENCH_training.json
 
 Each ``--pair`` is ``BASELINE=FRESH``.  A fresh report that carries
 ``"pass": false`` fails the gate outright (the benchmark's own absolute

@@ -51,6 +51,15 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--beta", type=float, default=0.2)
     train.add_argument("--rounds", type=int, default=8,
                        help="evaluation rounds R")
+    train.add_argument("--workers", type=int, default=None,
+                       help="worker processes for sharded gradient "
+                            "computation (default: in-process; >1 fans "
+                            "accumulation chunks out to a persistent pool "
+                            "— losses and weights stay bitwise-identical)")
+    train.add_argument("--grain", type=int, default=None,
+                       help="targets per gradient-accumulation chunk "
+                            "(default: batch size // 8; part of the "
+                            "training semantics, unlike --workers)")
     train.add_argument("--save", metavar="PATH",
                        help="write the trained model checkpoint (.npz)")
 
@@ -106,7 +115,8 @@ def _cmd_train(args) -> int:
         subgraph_size=args.subgraph_size, alpha=args.alpha, beta=args.beta,
         epochs=args.epochs, eval_rounds=args.rounds, seed=args.seed,
     )
-    model, history = train_bourne(graph, config)
+    model, history = train_bourne(graph, config, workers=args.workers,
+                                  grain=args.grain)
     print(f"trained: loss {history.losses[0]:.4f} -> {history.losses[-1]:.4f}")
     scores = score_graph(model, graph)
     print(f"node AUC {roc_auc_score(graph.node_labels, scores.node_scores):.4f}  "

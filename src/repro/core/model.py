@@ -116,21 +116,36 @@ class Bourne:
         the vectorized pipeline — no per-target Python loop on the
         sampling path.  ``target_seeds`` (``(B,)`` ``uint64``) pins each
         target's draws independently of batch composition; without it,
-        ``B`` seeds are drawn from ``rng``.  ``sampler="per_target"``
-        keeps the legacy loop as a reference/benchmark baseline.
+        ``B`` seeds are drawn from ``rng``.  Either way the same seeds
+        drive both the subgraph sampling *and* the counter-based Γ1/Γ2
+        view augmentation, so with ``augment=True`` the batched views
+        are a pure function of ``(graph, target, seed)`` — identical
+        on any batch layout or shard.  ``sampler="per_target"`` keeps
+        the legacy loop (sequential ``rng`` augmentation) as a
+        reference/benchmark baseline.
         """
         cfg = self.config
         rng = rng if rng is not None else self.sample_rng
         if sampler == "batched":
+            targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+            if target_seeds is None:
+                # Same draw sample_enclosing_subgraphs would make —
+                # hoisted so the view augmentation can share the seeds.
+                target_seeds = rng.integers(0, 2 ** 64, size=len(targets),
+                                            dtype=np.uint64)
+            else:
+                target_seeds = np.asarray(target_seeds,
+                                          dtype=np.uint64).reshape(-1)
             batch = sample_enclosing_subgraphs(
                 graph, targets, k=cfg.hop_size, size=cfg.subgraph_size,
-                rng=rng, target_seeds=target_seeds,
+                target_seeds=target_seeds,
             )
             return build_batched_views(
-                batch, rng=rng,
+                batch,
                 feature_mask_prob=cfg.feature_mask_prob,
                 incidence_drop_prob=cfg.incidence_drop_prob,
                 augment=augment,
+                target_seeds=target_seeds,
             )
         if sampler != "per_target":
             raise ValueError(f"unknown sampler {sampler!r}")
@@ -311,6 +326,38 @@ class Bourne:
         if len(terms) == 1:
             return terms[0]
         return (terms[0] + terms[1]) * 0.5
+
+    def chunk_loss(self, scores: BatchScores,
+                   node_scale: Optional[float],
+                   edge_scale: Optional[float]) -> Optional[Tensor]:
+        """Loss contribution of one gradient-accumulation chunk.
+
+        The trainer splits each minibatch into fixed chunks and sums
+        their losses/gradients in chunk order, so the batch-level
+        normalizations of :meth:`loss` must be supplied from outside:
+        ``node_scale`` multiplies the chunk's node-score sum (the
+        caller passes ``weight / B``) and ``edge_scale`` the sum of
+        per-target edge means (``weight / U`` with ``U`` the number of
+        batch targets owning target edges — edge ownership never
+        crosses chunks, so the per-owner counts are chunk-local).
+        ``None`` disables a term; returns ``None`` when the chunk
+        contributes neither (all targets degenerate in edge-only mode).
+        """
+        terms: List[Tensor] = []
+        if node_scale is not None and scores.node_scores is not None:
+            terms.append(scores.node_scores.sum() * node_scale)
+        if (edge_scale is not None and scores.edge_scores is not None
+                and len(scores.edge_owner)):
+            owners = scores.edge_owner
+            unique_owners, counts = np.unique(owners, return_counts=True)
+            count_per_edge = counts[np.searchsorted(unique_owners, owners)]
+            weights = edge_scale / count_per_edge
+            terms.append((scores.edge_scores * Tensor(weights)).sum())
+        if not terms:
+            return None
+        if len(terms) == 1:
+            return terms[0]
+        return terms[0] + terms[1]
 
     # ------------------------------------------------------------------
     # Parameter plumbing

@@ -112,6 +112,7 @@ def score_graph(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     planner=None,
+    pool=None,
 ) -> AnomalyScores:
     """Score every node and edge of ``graph`` with ``rounds`` evaluations.
 
@@ -132,14 +133,15 @@ def score_graph(
         reference/benchmark baseline.
     workers:
         When > 1, fan the target range out to that many worker
-        processes via :func:`repro.parallel.score_graph_sharded`.  With
-        view augmentation off the merged output is bitwise-identical to
-        the serial path; with it on, the Γ1/Γ2 draws follow per-shard
-        streams instead (same distribution, different stream).
-    shards / planner:
+        processes via :func:`repro.parallel.score_graph_sharded`.  The
+        merged output is bitwise-identical to the serial path with view
+        augmentation on or off — Γ1/Γ2 draws are counter-based, keyed
+        by the same per-``(round, target)`` seeds as sampling.
+    shards / planner / pool:
         Forwarded to the sharded engine: number of work shards (default
-        ``4 × workers``) and the :class:`repro.parallel.ShardPlanner`
-        that places the shard boundaries.
+        ``4 × workers``), the :class:`repro.parallel.ShardPlanner`
+        that places the shard boundaries, and an optional persistent
+        :class:`repro.parallel.WorkerPool` to reuse.
     """
     cfg = model.config
     rounds = rounds if rounds is not None else cfg.eval_rounds
@@ -152,7 +154,7 @@ def score_graph(
         from ..parallel import score_graph_sharded
         return score_graph_sharded(
             model, graph, rounds=rounds, batch_size=batch_size, seed=seed,
-            workers=workers, shards=shards, planner=planner,
+            workers=workers, shards=shards, planner=planner, pool=pool,
         )
     if sampler == "batched":
         # One base per round, drawn up front: per-target seeds derive

@@ -1,13 +1,35 @@
-"""Training loop for BOURNE (Algorithm 1, training stage)."""
+"""Training loop for BOURNE (Algorithm 1, training stage).
+
+The trainer is built around a deterministic, shard-invariant step:
+
+* every stochastic draw of a step — subgraph sampling, Γ1/Γ2 view
+  augmentation, the ``node_only`` forward mask — is counter-based,
+  keyed by ``(seed, epoch, step, target)`` through the splitmix64
+  streams of :mod:`repro.graph.index`, never by batch layout;
+* each minibatch's gradient is accumulated over fixed ``grain``-target
+  **chunks**: every chunk runs :func:`train_chunk` (forward, scaled
+  chunk loss, backward) in isolation, and :func:`merge_chunk_grads`
+  replays the per-chunk losses and gradients in ascending chunk order
+  before one Adam step + EMA target update.
+
+Because the chunk boundaries depend only on ``(batch length, grain)``
+and the merge order is fixed, distributing the chunks of a step over
+worker processes (``workers > 1``, :mod:`repro.parallel.training`)
+produces bitwise-identical loss histories and final parameters to the
+serial path for *any* workers/shards combination — the serial loop and
+the sharded workers execute the very same two functions.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graph.graph import Graph
+from ..graph.index import derive_stream_seed, derive_target_seeds
+from ..graph.sampling import count_target_edge_owners
 from ..optim.adam import Adam
 from ..utils.logging import get_logger
 from ..utils.seed import rng_from_seed
@@ -15,6 +37,130 @@ from .config import BourneConfig
 from .model import Bourne
 
 LOGGER = get_logger("repro.core.trainer")
+
+#: Named stream tags of the trainer (the sampler owns 1/2, the views
+#: 3/4/5, inference 11).  Folding the tag through ``derive_stream_seed``
+#: gives every component its own seed *space*: unlike the historical
+#: ``config.seed + 7`` offset, ``seed=s`` here can never collide with
+#: another component's stream for a nearby base seed (for example the
+#: model-init stream of ``seed=s+7``).
+_EPOCH_PERM_TAG = 17
+_BATCH_AUG_TAG = 19
+_BATCH_MASK_TAG = 23
+
+
+def epoch_permutation_rng(seed: int) -> np.random.Generator:
+    """The trainer's epoch-permutation stream for a base ``seed``.
+
+    A named ``derive_stream_seed`` stream (replacing the old
+    ``seed + 7`` offset) so target orders are decoupled from every
+    other consumer of the base seed; both the serial and the sharded
+    trainer draw epoch permutations from exactly this generator.
+    """
+    return rng_from_seed(int(derive_stream_seed(seed, _EPOCH_PERM_TAG)))
+
+
+def training_batch_streams(seed: int, epoch: int, step: int,
+                           targets: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Counter-based randomness of one optimization step.
+
+    Returns ``(target_seeds, mask_seed)``: one ``uint64`` seed per
+    target driving its sampling *and* Γ1/Γ2 view augmentation, plus the
+    step's ``node_only`` forward-mask seed.  Pure function of
+    ``(seed, epoch, step, target)`` — chunking or sharding the step
+    cannot change any draw.
+    """
+    base = derive_stream_seed(seed, _BATCH_AUG_TAG, epoch, step)
+    target_seeds = derive_target_seeds(
+        int(base), np.asarray(targets, dtype=np.int64))
+    mask_seed = int(derive_stream_seed(int(base), _BATCH_MASK_TAG))
+    return target_seeds, mask_seed
+
+
+def chunk_bounds(num_targets: int, grain: int) -> List[Tuple[int, int]]:
+    """Fixed accumulation-chunk boundaries of one minibatch.
+
+    ``[start, stop)`` ranges of ``grain`` targets (last chunk ragged).
+    Depends only on ``(num_targets, grain)`` — never on workers or
+    shards — which is what makes the merged gradients identical for
+    every distribution of chunks over processes.
+    """
+    if grain < 1:
+        raise ValueError("grain must be >= 1")
+    return [(start, min(start + grain, num_targets))
+            for start in range(0, num_targets, grain)]
+
+
+def batch_loss_scales(mode: str, batch_size: int,
+                      num_edge_owners: int) -> Tuple[Optional[float],
+                                                     Optional[float]]:
+    """Per-chunk loss scales of one minibatch (Eq. 15/19/20 weights).
+
+    ``node_scale`` multiplies node-score sums (``weight / B``) and
+    ``edge_scale`` sums of per-target edge means (``weight / U``);
+    ``weight`` is ½ when both terms exist, 1 otherwise, mirroring
+    :meth:`Bourne.loss`.  Raises when the batch can produce no loss
+    term at all (edge-only mode, every target degenerate).
+    """
+    node = mode != "edge_only"
+    edge = mode != "node_only" and num_edge_owners > 0
+    if not node and not edge:
+        raise RuntimeError("batch produced no loss terms (all targets degenerate)")
+    weight = 0.5 if (node and edge) else 1.0
+    node_scale = weight / batch_size if node else None
+    edge_scale = weight / num_edge_owners if edge else None
+    return node_scale, edge_scale
+
+
+def train_chunk(model: Bourne, graph, targets: np.ndarray,
+                target_seeds: np.ndarray, node_scale: Optional[float],
+                edge_scale: Optional[float],
+                mask_seed: int) -> Tuple[float, List[Optional[np.ndarray]]]:
+    """Forward + backward one gradient-accumulation chunk.
+
+    Returns ``(chunk loss, per-parameter gradients)`` in
+    ``trainable_parameters()`` order (``None`` entries for parameters
+    the chunk did not touch).  This is *the* unit of sharded training:
+    the serial loop calls it in-process, the worker processes call the
+    identical function on the shared-memory graph, so per-chunk floats
+    agree bit-for-bit by construction.
+    """
+    params = model.trainable_parameters()
+    for param in params:
+        param.grad = None
+    gviews, hviews = model.prepare_batch(graph, targets, augment=True,
+                                         target_seeds=target_seeds)
+    scores = model.forward_batch(gviews, hviews, mask_seed=mask_seed)
+    loss = model.chunk_loss(scores, node_scale, edge_scale)
+    if loss is None:
+        return 0.0, [None] * len(params)
+    loss.backward()
+    grads = [param.grad for param in params]
+    for param in params:
+        param.grad = None
+    return float(loss.item()), grads
+
+
+def merge_chunk_grads(
+    chunk_results: Sequence[Tuple[float, List[Optional[np.ndarray]]]],
+    num_params: int,
+) -> Tuple[float, List[Optional[np.ndarray]]]:
+    """Replay per-chunk losses and gradients in ascending chunk order.
+
+    The single accumulation-order authority: serial training merges its
+    in-process chunk results through this function, and the sharded
+    parent feeds it the worker results in the same chunk order, so the
+    summed floats are identical however the chunks were computed.
+    """
+    total = 0.0
+    grads: List[Optional[np.ndarray]] = [None] * num_params
+    for loss_value, chunk_grads in chunk_results:
+        total += loss_value
+        for i, grad in enumerate(chunk_grads):
+            if grad is None:
+                continue
+            grads[i] = grad if grads[i] is None else grads[i] + grad
+    return total, grads
 
 
 @dataclass
@@ -29,9 +175,40 @@ class TrainingHistory:
 
 
 class BourneTrainer:
-    """Minibatch trainer: Adam on θ, EMA on φ."""
+    """Minibatch trainer: Adam on θ, EMA on φ.
 
-    def __init__(self, model: Bourne, config: Optional[BourneConfig] = None):
+    Parameters
+    ----------
+    model / config:
+        The model to train and its hyper-parameters.
+    grain:
+        Targets per gradient-accumulation chunk (default
+        ``max(1, batch_size // 8)``).  The chunk layout is part of the
+        training semantics — changing ``grain`` changes float rounding
+        and therefore the trajectory — while ``workers``/``shards``
+        never are: any sharding of the same chunks is bitwise-identical.
+    workers:
+        When > 1, fan each step's chunks out to a persistent process
+        pool (:class:`repro.parallel.training.ShardedTrainingRunner`);
+        the pool lives until :meth:`close` (or the ``with`` block ends)
+        so repeated epochs and ``fit`` calls amortize worker spin-up.
+    shards / planner:
+        Work-shard count per step (default ``4 × workers``) and the
+        :class:`repro.parallel.ShardPlanner` placing shard boundaries
+        over the chunk sequence.
+    pool:
+        An existing :class:`repro.parallel.WorkerPool` to share (for
+        example with ``ScoringService.refresh``); the trainer will not
+        close a borrowed pool.
+    """
+
+    def __init__(self, model: Bourne, config: Optional[BourneConfig] = None,
+                 grain: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 shards: Optional[int] = None,
+                 planner=None,
+                 pool=None,
+                 start_method: Optional[str] = None):
         self.model = model
         self.config = config or model.config
         self.optimizer = Adam(
@@ -39,10 +216,67 @@ class BourneTrainer:
             lr=self.config.learning_rate,
             weight_decay=self.config.weight_decay,
         )
-        self._epoch_rng = rng_from_seed(self.config.seed + 7)
+        self._epoch_rng = epoch_permutation_rng(self.config.seed)
+        self.grain = (int(grain) if grain is not None
+                      else max(1, self.config.batch_size // 8))
+        if self.grain < 1:
+            raise ValueError("grain must be >= 1")
+        self.workers = workers
+        self.shards = shards
+        self.planner = planner
+        self._pool = pool
+        self._start_method = start_method
+        self._runner = None
+        self._epochs_trained = 0
 
+    # ------------------------------------------------------------------
+    # Sharded-runner lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self):
+        """The worker pool backing sharded training (``None`` serial)."""
+        if self._runner is not None:
+            return self._runner.pool
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the sharded runner (borrowed pools stay alive)."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+
+    def __enter__(self) -> "BourneTrainer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _ensure_runner(self, graph):
+        if self.workers is None or self.workers <= 1:
+            return None
+        if self._runner is None:
+            from ..parallel.training import ShardedTrainingRunner
+            self._runner = ShardedTrainingRunner(
+                self.model, graph, workers=self.workers,
+                shards=self.shards, planner=self.planner,
+                pool=self._pool, start_method=self._start_method,
+            )
+        else:
+            self._runner.bind(graph)
+        return self._runner
+
+    # ------------------------------------------------------------------
+    # Optimization
+    # ------------------------------------------------------------------
     def train_step(self, graph: Graph, targets: np.ndarray) -> float:
-        """One optimization step over a batch of target nodes."""
+        """One legacy optimization step over an ad-hoc target batch.
+
+        Draws sampling/augmentation sequentially from the model's RNG
+        and uses the whole-batch :meth:`Bourne.loss` — the historical
+        one-shot API.  :meth:`fit` instead runs the deterministic
+        chunked step (counter-based streams keyed by epoch/step) whose
+        sharded execution is bitwise-identical to serial.
+        """
         model = self.model
         gviews, hviews = model.prepare_batch(graph, targets, augment=True)
         scores = model.forward_batch(gviews, hviews)
@@ -53,40 +287,89 @@ class BourneTrainer:
         model.update_target()
         return float(loss.item())
 
+    def _loss_scales(self, graph, targets: np.ndarray,
+                     target_seeds: np.ndarray):
+        cfg = self.config
+        if cfg.mode == "node_only":
+            owners = 0
+        else:
+            owners = count_target_edge_owners(
+                graph, targets, target_seeds, cfg.hop_size, cfg.subgraph_size)
+        return batch_loss_scales(cfg.mode, len(targets), owners)
+
+    def _optimize_batch(self, graph, epoch: int, step: int,
+                        batch: np.ndarray, runner) -> float:
+        """One chunked optimization step; returns the batch loss."""
+        cfg = self.config
+        target_seeds, mask_seed = training_batch_streams(
+            cfg.seed, epoch, step, batch)
+        node_scale, edge_scale = self._loss_scales(graph, batch, target_seeds)
+        bounds = chunk_bounds(len(batch), self.grain)
+        if runner is None:
+            results = [
+                train_chunk(self.model, graph, batch[start:stop],
+                            target_seeds[start:stop], node_scale, edge_scale,
+                            mask_seed)
+                for start, stop in bounds
+            ]
+        else:
+            results = runner.run_step(batch, target_seeds, bounds,
+                                      node_scale, edge_scale, mask_seed)
+        loss_value, grads = merge_chunk_grads(results,
+                                              len(self.optimizer.params))
+        self.optimizer.step(grads)
+        self.model.update_target()
+        if runner is not None:
+            runner.publish()
+        return loss_value
+
     def fit(self, graph: Graph, epochs: Optional[int] = None,
             verbose: bool = False) -> TrainingHistory:
         """Train for ``epochs`` (default from config); returns the history.
 
         Each epoch covers every node (or a ``targets_per_epoch``
-        subsample) in random order, split into ``batch_size`` batches.
+        subsample) in random order, split into ``batch_size`` batches;
+        each batch gradient is accumulated over ``grain``-target chunks
+        (in worker processes when ``workers > 1``, bitwise-identically).
         """
         cfg = self.config
         epochs = epochs if epochs is not None else cfg.epochs
         history = TrainingHistory()
-        for epoch in range(epochs):
+        runner = self._ensure_runner(graph)
+        for epoch_in_call in range(epochs):
+            epoch = self._epochs_trained
             order = self._epoch_rng.permutation(graph.num_nodes)
             if cfg.targets_per_epoch is not None:
                 order = order[: cfg.targets_per_epoch]
             epoch_losses = []
-            for start in range(0, len(order), cfg.batch_size):
+            for step, start in enumerate(range(0, len(order), cfg.batch_size)):
                 batch = order[start:start + cfg.batch_size]
-                epoch_losses.append(self.train_step(graph, batch))
+                epoch_losses.append(
+                    self._optimize_batch(graph, epoch, step, batch, runner))
             mean_loss = float(np.mean(epoch_losses))
             history.losses.append(mean_loss)
+            self._epochs_trained += 1
             if verbose:
-                LOGGER.info("epoch %d/%d loss %.4f", epoch + 1, epochs, mean_loss)
+                LOGGER.info("epoch %d/%d loss %.4f",
+                            epoch_in_call + 1, epochs, mean_loss)
         return history
 
 
 def train_bourne(graph: Graph, config: Optional[BourneConfig] = None,
                  epochs: Optional[int] = None,
-                 verbose: bool = False) -> tuple:
+                 verbose: bool = False,
+                 workers: Optional[int] = None,
+                 shards: Optional[int] = None,
+                 grain: Optional[int] = None) -> tuple:
     """Convenience: build a model for ``graph``, train it, return both.
 
-    Returns ``(model, history)``.
+    ``workers > 1`` trains through the sharded data-parallel engine
+    (bitwise-identical to serial for the same ``grain``); the worker
+    pool is torn down before returning.  Returns ``(model, history)``.
     """
     config = config or BourneConfig()
     model = Bourne(graph.num_features, config)
-    trainer = BourneTrainer(model, config)
-    history = trainer.fit(graph, epochs=epochs, verbose=verbose)
+    with BourneTrainer(model, config, grain=grain, workers=workers,
+                       shards=shards) as trainer:
+        history = trainer.fit(graph, epochs=epochs, verbose=verbose)
     return model, history

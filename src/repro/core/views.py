@@ -122,6 +122,12 @@ def mask_features(features: np.ndarray, prob: float,
 #: owns tags 1 and 2 in :mod:`repro.graph.sampling`).
 _FORWARD_MASK_STREAM = 3
 
+#: Stream tags of the counter-based Γ1/Γ2 *view* augmentation: each
+#: target's mask and incidence-drop draws are keyed off its own sampling
+#: seed, so augmented views never depend on batch layout or sharding.
+_VIEW_MASK_STREAM = 4
+_VIEW_DROP_STREAM = 5
+
 
 def seeded_mask_features(features: np.ndarray, prob: float,
                          seed: int) -> np.ndarray:
@@ -307,6 +313,7 @@ def batch_hypergraph_views_from_subgraphs(
     feature_mask_prob: float = 0.2,
     incidence_drop_prob: float = 0.2,
     augment: bool = True,
+    target_seeds: Optional[np.ndarray] = None,
 ) -> BatchedHypergraphViews:
     """Dual-transform + augment + batch the hypergraph views, vectorized.
 
@@ -316,12 +323,19 @@ def batch_hypergraph_views_from_subgraphs(
     once, and the block-diagonal HGNN operator falls out of ONE sparse
     product ``(Ŝ·D_e^{-1}) Ŝᵀ`` over the global scaled incidence — no
     per-view dense matmuls.  With augmentation off, per-block values
-    match :func:`build_hypergraph_view` exactly; with augmentation on,
-    the Γ1/Γ2 draws are batched (one ``(V, D)`` mask block, one
-    ``(ΣMs, 2)`` drop block) and therefore consume ``rng`` in a
-    different order than the per-view path — same distribution, not
-    the same stream.  Degenerate targets (no edges) become the same
-    1-row zero placeholders :func:`batch_hypergraph_views` emits.
+    match :func:`build_hypergraph_view` exactly.  Degenerate targets
+    (no edges) become the same 1-row zero placeholders
+    :func:`batch_hypergraph_views` emits.
+
+    Augmentation draws are **counter-based** when ``target_seeds``
+    (``(B,)`` ``uint64``, normally the per-target sampling seeds) is
+    given: each view's Γ1 mask is a pure function of
+    ``(seed, dimension)`` and each incidence drop of
+    ``(seed, local edge, endpoint)``, so augmented views are identical
+    whether a target is built alone, inside any batch, or on any shard
+    — the property sharded training and augmented sharded inference
+    rely on.  Without seeds the legacy path draws sequentially from
+    ``rng`` (same distribution, batch-layout dependent).
     """
     num_views = len(batch)
     slots = batch.slots
@@ -345,23 +359,46 @@ def batch_hypergraph_views_from_subgraphs(
     # slot-feature rows live at view * slots + slot).
     edge_view = np.repeat(np.arange(num_views), edge_counts)
     slot_rows = edge_view * slots
+    local_edge = np.arange(num_edges) - batch.edge_offsets[edge_view]
     dual = 0.5 * (batch.features[slot_rows + batch.edges[:, 0]]
                   + batch.features[slot_rows + batch.edges[:, 1]])
 
-    if augment and feature_mask_prob > 0.0 and has_edges.any():
-        # Γ1: one D-dim mask per view with edges, in view order.
-        masks = rng.random((int(has_edges.sum()), dim)) >= feature_mask_prob
-        mask_row = np.cumsum(has_edges) - 1
-        dual = dual * masks[mask_row[edge_view]]
+    if target_seeds is not None:
+        seeds = np.asarray(target_seeds, dtype=np.uint64).reshape(-1)
+        if len(seeds) != num_views:
+            raise ValueError(
+                f"target_seeds has {len(seeds)} entries for "
+                f"{num_views} views")
+    else:
+        seeds = None
+    if augment and feature_mask_prob > 0.0 and num_edges:
+        # Γ1: one D-dim mask per view.
+        if seeds is not None:
+            dims = np.arange(dim, dtype=np.uint64)
+            masks = seeded_uniform(seeds[:, None], _VIEW_MASK_STREAM,
+                                   dims[None, :]) >= feature_mask_prob
+            dual = dual * masks[edge_view]
+        else:
+            # Legacy sequential draws, one mask per view *with edges*.
+            masks = rng.random((int(has_edges.sum()), dim)) >= feature_mask_prob
+            mask_row = np.cumsum(has_edges) - 1
+            dual = dual * masks[mask_row[edge_view]]
     if augment and incidence_drop_prob > 0.0 and num_edges:
         # Γ2: i.i.d. Bernoulli drop per incidence entry (2 per edge).
-        keep = rng.random((num_edges, 2)) >= incidence_drop_prob
+        if seeds is not None:
+            ends = np.arange(2, dtype=np.uint64)
+            draws = seeded_uniform(
+                seeds[edge_view][:, None], _VIEW_DROP_STREAM,
+                (local_edge.astype(np.uint64) * np.uint64(2))[:, None]
+                + ends[None, :])
+            keep = draws >= incidence_drop_prob
+        else:
+            keep = rng.random((num_edges, 2)) >= incidence_drop_prob
     else:
         keep = np.ones((num_edges, 2), dtype=bool)
 
     # Eq. 7 row layout per view: [anonymized target edges (zeros) |
     # context edges | raw copies of the target edges].
-    local_edge = np.arange(num_edges) - batch.edge_offsets[edge_view]
     is_target = local_edge < target_counts[edge_view]
     features = np.zeros((total_rows, dim))
     ctx = ~is_target
@@ -425,18 +462,22 @@ def build_batched_views(
     feature_mask_prob: float = 0.2,
     incidence_drop_prob: float = 0.2,
     augment: bool = True,
+    target_seeds: Optional[np.ndarray] = None,
 ):
     """Both batched views of a sampled target batch, fully vectorized.
 
     Returns ``(BatchedGraphViews, BatchedHypergraphViews)``; no
-    per-target Python loop on either path.
+    per-target Python loop on either path.  ``target_seeds`` switches
+    the Γ1/Γ2 augmentation to the counter-based per-target streams (see
+    :func:`batch_hypergraph_views_from_subgraphs`).
     """
     return (batch_graph_views_from_subgraphs(batch),
             batch_hypergraph_views_from_subgraphs(
                 batch, rng=rng,
                 feature_mask_prob=feature_mask_prob,
                 incidence_drop_prob=incidence_drop_prob,
-                augment=augment))
+                augment=augment,
+                target_seeds=target_seeds))
 
 
 def batch_graph_views(views: Sequence[GraphView]) -> BatchedGraphViews:

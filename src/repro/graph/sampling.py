@@ -400,6 +400,41 @@ def _choose_context_slots(index: GraphIndex, targets: np.ndarray,
     return chosen
 
 
+def count_target_edge_owners(
+    graph,
+    targets: Sequence[int],
+    target_seeds: np.ndarray,
+    k: int,
+    size: int,
+) -> int:
+    """Number of targets whose sampled subgraph realizes ≥ 1 target edge.
+
+    Replays the counter-based context choice of
+    :func:`sample_enclosing_subgraphs` for ``(targets, target_seeds)``
+    without building views or inducing the full edge set, so callers
+    that need the batch-level edge-loss normalization (the trainer's
+    ``U`` in Eq. 19) can compute it *before* fanning chunks of the
+    batch out to workers.  Agrees exactly with
+    ``(batch.num_target_edges > 0).sum()`` of the real sampler: a
+    target edge exists iff some chosen context slot is a distinct
+    1-hop neighbour of the target.
+    """
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    if len(targets) == 0:
+        return 0
+    index = index_of(graph)
+    seeds = np.asarray(target_seeds, dtype=np.uint64).reshape(-1)
+    if len(seeds) != len(targets):
+        raise ValueError(
+            f"target_seeds has {len(seeds)} entries for {len(targets)} targets")
+    chosen = _choose_context_slots(index, targets, seeds, k, size)
+    lo = np.minimum(chosen, targets[:, None])
+    hi = np.maximum(chosen, targets[:, None])
+    hits = index.contains_edges(lo.reshape(-1), hi.reshape(-1))
+    hits = hits.reshape(chosen.shape) & (chosen != targets[:, None])
+    return int(hits.any(axis=1).sum())
+
+
 def induce_slot_edges(index: GraphIndex, slot_nodes: np.ndarray,
                       dedup_target_edges: bool = True) -> tuple:
     """Induce parent edges among every slot pair of every subgraph.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -30,8 +30,28 @@ class Adam:
         for param in self.params:
             param.grad = None
 
-    def step(self) -> None:
-        """Apply one update using the gradients stored on the parameters."""
+    def step(self, grads: Optional[Sequence[Optional[np.ndarray]]] = None) -> None:
+        """Apply one update using the gradients stored on the parameters.
+
+        ``grads`` injects externally computed gradients first — one
+        entry per parameter in constructor order, ``None`` meaning "no
+        update for this parameter".  This is the merge point of sharded
+        training: the parent sums per-chunk worker gradients and feeds
+        the result here, so worker processes never need the optimizer
+        state.
+        """
+        if grads is not None:
+            grads = list(grads)
+            if len(grads) != len(self.params):
+                raise ValueError(
+                    f"got {len(grads)} gradients for {len(self.params)} "
+                    "parameters")
+            for param, grad in zip(self.params, grads):
+                if grad is not None and grad.shape != param.data.shape:
+                    raise ValueError(
+                        f"gradient shape {grad.shape} does not match "
+                        f"parameter shape {param.data.shape}")
+                param.grad = grad
         self._step += 1
         t = self._step
         bias1 = 1.0 - self.beta1 ** t

@@ -1,13 +1,17 @@
-"""Sharded multi-process scoring.
+"""Sharded multi-process scoring and training.
 
 Partitions target ranges into contiguous shards, fans them out to a
-process pool whose workers attach the graph from shared memory, and
-merges per-shard evidence in serial accumulation order so the output is
-bitwise-identical to single-process scoring (augmentation off).
+persistent worker pool whose processes attach the graph and model from
+shared memory, and merges per-shard evidence in serial accumulation
+order so the output is bitwise-identical to single-process execution —
+for scoring *and* for gradient computation (training).
 """
 
 from .engine import (
+    GraphRef,
+    ModelRef,
     ShardScore,
+    WorkerPool,
     score_graph_sharded,
     service_refresh_scores,
 )
@@ -18,22 +22,35 @@ from .planner import (
     validate_plan,
 )
 from .shm import (
+    AttachedModel,
     SharedGraph,
     SharedGraphExport,
     SharedGraphSpec,
+    SharedModelExport,
+    SharedModelSpec,
     attach_shared_graph,
+    attach_shared_model,
 )
+from .training import ShardedTrainingRunner
 
 __all__ = [
+    "GraphRef",
+    "ModelRef",
     "ShardScore",
+    "WorkerPool",
     "score_graph_sharded",
     "service_refresh_scores",
+    "ShardedTrainingRunner",
     "ContiguousShardPlanner",
     "DegreeBalancedShardPlanner",
     "ShardPlanner",
     "validate_plan",
+    "AttachedModel",
     "SharedGraph",
     "SharedGraphExport",
     "SharedGraphSpec",
+    "SharedModelExport",
+    "SharedModelSpec",
     "attach_shared_graph",
+    "attach_shared_model",
 ]

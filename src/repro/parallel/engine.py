@@ -1,13 +1,15 @@
-"""Sharded multi-process scoring engine.
+"""Sharded multi-process engine: worker pool + scoring entry points.
 
-Scoring is embarrassingly parallel over target nodes once sampling is
-counter-based: every draw depends on ``(seed, round, target)`` and never
-on batch layout, so a contiguous shard of the target range can be scored
-in any process and the results merged afterwards.  This module fans
-shards out to a ``ProcessPoolExecutor`` whose workers attach the graph
-from shared memory (:mod:`repro.parallel.shm`), rebuild the model once
-from a pickled parameter payload, and then score shard after shard with
-the *same* code path the serial engines use.
+Scoring and training are embarrassingly parallel over target nodes once
+every draw is counter-based: sampling, Γ1/Γ2 view augmentation, and the
+``node_only`` forward mask each depend on ``(seed, round/step, target)``
+and never on batch layout, so contiguous shards of a target range can
+be processed in any process and the results merged afterwards.  This
+module provides the shared infrastructure — a persistent
+:class:`WorkerPool` whose workers attach the graph and model from
+shared memory (:mod:`repro.parallel.shm`) and cache them across tasks —
+plus the sharded *scoring* entry points; sharded *training* lives in
+:mod:`repro.parallel.training` on the same pool.
 
 Bitwise-identical merging
 -------------------------
@@ -17,10 +19,10 @@ contributions in target order; the parent replays them — rounds
 outermost, shards in ascending target order — reproducing the exact
 serial accumulation sequence.  Node evidence needs no replay: each
 target lives in exactly one shard and accumulates round-major inside
-the worker, just as the serial loop does.  With view augmentation off
-(and ``node_only``'s forward mask counter-based), the merged output is
-therefore bit-for-bit equal to :func:`repro.core.score_graph` and
-``ScoringService.refresh``.
+the worker, just as the serial loop does.  Because the view
+augmentation is counter-based, the merged output is bit-for-bit equal
+to :func:`repro.core.score_graph` and ``ScoringService.refresh`` with
+augmentation *on or off*.
 """
 
 from __future__ import annotations
@@ -38,44 +40,202 @@ from ..core.scoring import (
     finalize_scores,
     inference_round_streams,
 )
-from ..graph.index import derive_stream_seed, derive_target_seeds, index_of
+from ..graph.index import derive_target_seeds, index_of
 from ..serving import service as serving_service
 from .planner import ContiguousShardPlanner, ShardPlanner, validate_plan
-from .shm import SharedGraph, SharedGraphExport, SharedGraphSpec, attach_shared_graph
+from .shm import (
+    SharedGraphExport,
+    SharedGraphSpec,
+    SharedModelExport,
+    SharedModelSpec,
+    attach_shared_graph,
+    attach_shared_model,
+)
 
-#: Stream tag for per-shard augmentation RNGs (only consumed when view
-#: augmentation is on, in which case output is distribution- but not
-#: bit-equal to serial).
-_SHARD_AUG_TAG = 13
-
-#: Worker-process state, populated once per worker by the initializer.
+#: Worker-process caches, keyed by the pool's monotonically increasing
+#: graph/model tokens so rebinding (a mutated store, a new model)
+#: invalidates exactly the stale attachment.
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _model_payload(model: Bourne) -> tuple:
-    """Picklable ``(num_features, config, online, target)`` snapshot."""
-    online = {name: param.data for name, param in model.online.named_parameters()}
-    target = {name: param.data for name, param in model.target.named_parameters()}
-    return (model.num_features, model.config, online, target)
+@dataclass(frozen=True)
+class GraphRef:
+    """Picklable handle to the pool's currently bound graph."""
+
+    token: int
+    spec: SharedGraphSpec
 
 
-def _rebuild_model(payload: tuple) -> Bourne:
-    num_features, config, online, target = payload
-    model = Bourne(num_features, config)
-    model.online.load_state_dict(online)
-    model.target.load_state_dict(target)
-    model.eval_mode()
-    return model
+@dataclass(frozen=True)
+class ModelRef:
+    """Picklable handle to the pool's bound model at one version."""
+
+    token: int
+    version: int
+    spec: SharedModelSpec
 
 
-def _init_worker(graph_spec: SharedGraphSpec, model_payload: tuple) -> None:
-    """Attach the shared graph and rebuild the model, once per worker."""
-    _WORKER_STATE["graph"] = attach_shared_graph(graph_spec)
-    _WORKER_STATE["model"] = _rebuild_model(model_payload)
+def _ensure_graph(ref: GraphRef):
+    """Attach (or reuse) the shared graph named by ``ref`` (worker side)."""
+    if _WORKER_STATE.get("graph_token") != ref.token:
+        old = _WORKER_STATE.pop("graph", None)
+        if old is not None:
+            old.close()
+        _WORKER_STATE["graph"] = attach_shared_graph(ref.spec)
+        _WORKER_STATE["graph_token"] = ref.token
+    return _WORKER_STATE["graph"]
 
 
-def _worker_context() -> Tuple[SharedGraph, Bourne]:
-    return _WORKER_STATE["graph"], _WORKER_STATE["model"]
+def _ensure_model(ref: ModelRef) -> Bourne:
+    """Rebuild (or refresh) the shared model named by ``ref`` (worker side).
+
+    The model object is rebuilt only when the pool bound a *new* export
+    (token change); version bumps refresh parameter values in place
+    with one copy per array.
+    """
+    if _WORKER_STATE.get("model_token") != ref.token:
+        old = _WORKER_STATE.pop("model", None)
+        if old is not None:
+            old.close()
+        _WORKER_STATE["model"] = attach_shared_model(ref.spec)
+        _WORKER_STATE["model_token"] = ref.token
+    return _WORKER_STATE["model"].load(ref.version).model
+
+
+def _mp_context(start_method: Optional[str]):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Fastest start on POSIX, and workers inherit sys.path setup.
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """Persistent process pool bound to shared-memory graph/model slots.
+
+    One pool serves every sharded engine in the repository: offline
+    scoring, service refreshes, and data-parallel training all submit
+    their shard tasks here, so a long-lived pool amortizes process
+    spawn, graph export, and model rebuild across calls — the reason
+    repeated training epochs and small-batch refreshes are profitable.
+
+    ``bind_graph`` / ``publish_model`` may only be called while no
+    tasks are outstanding (every engine collects a full task wave
+    before rebinding); each returns a picklable ref that tasks carry,
+    and workers lazily attach/refresh from the ref's token/version.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_mp_context(start_method),
+        )
+        self._graph_export: Optional[SharedGraphExport] = None
+        self._graph_token = 0
+        self._graph_ref: Optional[GraphRef] = None
+        self._model_export: Optional[SharedModelExport] = None
+        self._model_token = 0
+        self._model_version = 0
+        self._bound_model: Optional[Bourne] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind_graph(self, features: np.ndarray, index) -> GraphRef:
+        """Export ``(features, index)``, replacing any previous graph."""
+        self._check_open()
+        export = SharedGraphExport.create(features, index)
+        if self._graph_export is not None:
+            self._graph_export.destroy()
+        self._graph_export = export
+        self._graph_token += 1
+        self._graph_ref = GraphRef(self._graph_token, export.spec)
+        return self._graph_ref
+
+    @property
+    def graph_ref(self) -> Optional[GraphRef]:
+        return self._graph_ref
+
+    @property
+    def bound_model(self) -> Optional[Bourne]:
+        """The model currently occupying the pool's parameter slot."""
+        return self._bound_model
+
+    def publish_model(self, model: Bourne) -> ModelRef:
+        """Bind ``model`` (first call / model change) or republish its
+        current parameter values; returns the ref tasks should carry."""
+        self._check_open()
+        if self._bound_model is not model or self._model_export is None:
+            export = SharedModelExport.create(model)
+            if self._model_export is not None:
+                self._model_export.destroy()
+            self._model_export = export
+            self._model_token += 1
+            self._model_version = 0
+            self._bound_model = model
+        else:
+            self._model_export.publish(model)
+            self._model_version += 1
+        return ModelRef(self._model_token, self._model_version,
+                        self._model_export.spec)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, fn, tasks: List[tuple], label: str = "sharded run") -> List:
+        """Fan ``tasks`` out; results come back in task (= shard) order.
+
+        A worker exception is re-raised in the parent as
+        ``RuntimeError`` naming the shard; pending tasks are cancelled
+        but the pool itself stays usable (worker processes survive an
+        ordinary task exception).
+        """
+        self._check_open()
+        futures = [self._executor.submit(fn, task) for task in tasks]
+        results: List = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as error:
+                for pending in futures[index + 1:]:
+                    pending.cancel()
+                raise RuntimeError(
+                    f"{label} failed in shard {index} "
+                    f"(of {len(tasks)}): {error}"
+                ) from error
+        return results
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+
+    def close(self) -> None:
+        """Shut the executor down and unlink every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        if self._graph_export is not None:
+            self._graph_export.destroy()
+            self._graph_export = None
+        if self._model_export is not None:
+            self._model_export.destroy()
+            self._model_export = None
+        self._bound_model = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 @dataclass
@@ -105,18 +265,20 @@ def _score_shard(task: tuple) -> ShardScore:
     """Score one contiguous target shard (runs in a worker process).
 
     Mirrors the serial ``score_graph`` inner loop: identical per-round
-    bases, identical per-target seeds, identical per-round forward mask
-    seeds — only the batch boundaries are shard-local, which the
-    batch-invariant sampler makes unobservable.
+    bases, identical per-target seeds (which drive sampling *and* view
+    augmentation), identical per-round forward mask seeds — only the
+    batch boundaries are shard-local, which the batch-invariant
+    pipeline makes unobservable.
     """
-    start, stop, round_bases, mask_seeds, batch_size = task[:5]
-    augment, seed, shard_index, fail = task[5:]
+    graph_ref, model_ref, rest = task[0], task[1], task[2:]
+    start, stop, round_bases, mask_seeds, batch_size, augment, fail = rest
     if fail:
-        raise RuntimeError(f"injected failure in shard {shard_index}")
-    graph, model = _worker_context()
+        raise RuntimeError(f"injected failure in shard "
+                           f"[{start}, {stop})")
+    graph = _ensure_graph(graph_ref)
+    model = _ensure_model(model_ref)
+    model.eval_mode()
     width = stop - start
-    shard_stream = derive_stream_seed(seed, _SHARD_AUG_TAG, shard_index)
-    rng = np.random.default_rng(int(shard_stream))
     node_sum = np.zeros(width)
     node_count = np.zeros(width)
     edge_ids: List[np.ndarray] = []
@@ -133,13 +295,11 @@ def _score_shard(task: tuple) -> ShardScore:
             gviews, hviews = model.prepare_batch(
                 graph,
                 batch,
-                rng=rng,
                 augment=augment,
-                sampler="batched",
                 target_seeds=target_seeds,
             )
             scores = model.forward_batch(
-                gviews, hviews, rng=rng, mask_seed=int(mask_seeds[round_index])
+                gviews, hviews, mask_seed=int(mask_seeds[round_index])
             )
             forwards += 1
             if scores.node_scores is not None:
@@ -162,10 +322,12 @@ def _service_score_shard(task: tuple) -> ShardScore:
     views and each forward call gets the fresh per-round stream, so
     every score is bitwise what the in-process service would produce.
     """
-    targets, seed, rounds, max_batch, fail = task
+    graph_ref, model_ref, targets, seed, rounds, max_batch, fail = task
     if fail:
         raise RuntimeError("injected failure in service shard")
-    graph, model = _worker_context()
+    graph = _ensure_graph(graph_ref)
+    model = _ensure_model(model_ref)
+    model.eval_mode()
     from ..core.views import batch_graph_views, batch_hypergraph_views
 
     width = len(targets)
@@ -204,15 +366,6 @@ def _service_score_shard(task: tuple) -> ShardScore:
     return ShardScore(0, width, node_sum, node_count, edge_ids, edge_vals, forwards)
 
 
-def _mp_context(start_method: Optional[str]):
-    if start_method is not None:
-        return multiprocessing.get_context(start_method)
-    if "fork" in multiprocessing.get_all_start_methods():
-        # Fastest start on POSIX, and workers inherit sys.path setup.
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
 def _plan_shards(
     num_targets: int,
     workers: int,
@@ -231,43 +384,6 @@ def _plan_shards(
     return validate_plan(plan, num_targets)
 
 
-def _run_sharded(
-    export: SharedGraphExport,
-    model: Bourne,
-    worker_fn,
-    tasks: List[tuple],
-    workers: int,
-    start_method: Optional[str],
-) -> List[ShardScore]:
-    """Fan ``tasks`` out to a pool of ``workers`` processes.
-
-    Results come back in task (= shard) order.  A worker exception is
-    re-raised in the parent as ``RuntimeError`` naming the shard;
-    pending tasks are cancelled and the pool always shut down.
-    """
-    context = _mp_context(start_method)
-    pool = ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=context,
-        initializer=_init_worker,
-        initargs=(export.spec, _model_payload(model)),
-    )
-    try:
-        futures = [pool.submit(worker_fn, task) for task in tasks]
-        results: List[ShardScore] = []
-        for index, future in enumerate(futures):
-            try:
-                results.append(future.result())
-            except Exception as error:
-                raise RuntimeError(
-                    f"sharded scoring failed in shard {index} "
-                    f"(of {len(tasks)}): {error}"
-                ) from error
-        return results
-    finally:
-        pool.shutdown(wait=True, cancel_futures=True)
-
-
 def score_graph_sharded(
     model: Bourne,
     graph,
@@ -278,52 +394,55 @@ def score_graph_sharded(
     shards: Optional[int] = None,
     planner: Optional[ShardPlanner] = None,
     start_method: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
     _fail_shard: Optional[int] = None,
 ) -> AnomalyScores:
     """Multi-process counterpart of :func:`repro.core.score_graph`.
 
     Partitions the target range into contiguous shards, scores them in
     ``workers`` processes, and merges the evidence in serial
-    accumulation order.  With view augmentation off the result is
-    bitwise-identical to the serial batched path for every shard/worker
-    count; ``node_only`` models are bitwise-identical even with their
-    forward mask on (it is counter-based per round).
+    accumulation order.  The result is bitwise-identical to the serial
+    batched path for every shard/worker count, with view augmentation
+    on or off (all inference randomness is counter-based).
 
+    ``pool`` reuses an existing :class:`WorkerPool` (it is left open);
+    otherwise an ephemeral pool is created and torn down.
     ``_fail_shard`` is a test hook: the worker handling that shard
     raises, exercising crash propagation.
     """
     cfg = model.config
     rounds = rounds if rounds is not None else cfg.eval_rounds
     batch_size = batch_size if batch_size is not None else cfg.batch_size
-    effective_seed = cfg.seed if seed is None else seed
     _, round_bases, mask_seeds = inference_round_streams(cfg, rounds, seed)
 
     index = index_of(graph)
     num_nodes = index.num_nodes
     degrees = index.degrees.astype(np.float64) + 1.0
     plan = _plan_shards(num_nodes, workers, shards, planner, degrees)
-    tasks = [
-        (
-            start,
-            stop,
-            round_bases,
-            mask_seeds,
-            batch_size,
-            cfg.augment_at_inference,
-            effective_seed,
-            shard_index,
-            shard_index == _fail_shard,
-        )
-        for shard_index, (start, stop) in enumerate(plan)
-    ]
 
-    export = SharedGraphExport.create(graph.features, index)
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(workers, start_method)
     try:
-        results = _run_sharded(
-            export, model, _score_shard, tasks, workers, start_method
-        )
+        graph_ref = pool.bind_graph(graph.features, index)
+        model_ref = pool.publish_model(model)
+        tasks = [
+            (
+                graph_ref,
+                model_ref,
+                start,
+                stop,
+                round_bases,
+                mask_seeds,
+                batch_size,
+                cfg.augment_at_inference,
+                shard_index == _fail_shard,
+            )
+            for shard_index, (start, stop) in enumerate(plan)
+        ]
+        results = pool.run(_score_shard, tasks, label="sharded scoring")
     finally:
-        export.destroy()
+        if own_pool:
+            pool.close()
 
     node_sum = np.zeros(num_nodes)
     node_count = np.zeros(num_nodes)
@@ -351,6 +470,7 @@ def service_refresh_scores(
     shards: Optional[int] = None,
     planner: Optional[ShardPlanner] = None,
     start_method: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
     _fail_shard: Optional[int] = None,
 ) -> Tuple[np.ndarray, Dict[int, float], int]:
     """Drain a service miss queue through the sharded engine.
@@ -360,7 +480,9 @@ def service_refresh_scores(
     to fold into the service's edge table, and the number of forward
     batches the workers ran.  Node scores and edge means are
     bitwise-identical to ``ScoringService._score_targets`` on the same
-    store state.
+    store state.  ``pool`` reuses an existing :class:`WorkerPool` — for
+    example a trainer's — rebinding its graph slot to the store's
+    current snapshot.
     """
     targets = np.asarray(targets, dtype=np.int64)
     store = service.store
@@ -368,24 +490,29 @@ def service_refresh_scores(
     degrees = index.degrees.astype(np.float64)
     costs = degrees[targets] + 1.0
     plan = _plan_shards(len(targets), workers, shards, planner, costs)
-    tasks = [
-        (
-            targets[start:stop],
-            service.seed,
-            service.rounds,
-            service.max_batch,
-            shard_index == _fail_shard,
-        )
-        for shard_index, (start, stop) in enumerate(plan)
-    ]
 
-    export = SharedGraphExport.create(store.features, index)
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(workers, start_method)
     try:
-        results = _run_sharded(
-            export, service.model, _service_score_shard, tasks, workers, start_method
-        )
+        graph_ref = pool.bind_graph(store.features, index)
+        model_ref = pool.publish_model(service.model)
+        tasks = [
+            (
+                graph_ref,
+                model_ref,
+                targets[start:stop],
+                service.seed,
+                service.rounds,
+                service.max_batch,
+                shard_index == _fail_shard,
+            )
+            for shard_index, (start, stop) in enumerate(plan)
+        ]
+        results = pool.run(_service_score_shard, tasks,
+                           label="sharded refresh")
     finally:
-        export.destroy()
+        if own_pool:
+            pool.close()
 
     sums = np.concatenate([result.node_sum for result in results])
     scores = sums / service.rounds

@@ -1,18 +1,29 @@
-"""Shared-memory graph export for multi-process scoring.
+"""Shared-memory graph and model exports for multi-process engines.
 
-Worker processes need two things to sample and score a shard: the node
-feature matrix and the :class:`~repro.graph.index.GraphIndex` arrays
-(CSR adjacency + sorted edge keys).  Re-pickling those per worker would
-copy the whole graph ``workers`` times and re-building the index would
-redo the edge-key sort, so instead the parent places every array into
-POSIX shared memory once and ships only a tiny picklable spec; workers
-attach the same pages read-only and adopt the pre-sorted arrays via
+Worker processes need three things to sample, score, or compute
+gradients for a shard: the node feature matrix, the
+:class:`~repro.graph.index.GraphIndex` arrays (CSR adjacency + sorted
+edge keys), and the model parameters.  Re-pickling those per worker
+would copy the whole graph ``workers`` times and re-building the index
+would redo the edge-key sort, so instead the parent places every array
+into POSIX shared memory once and ships only a tiny picklable spec;
+workers attach the same pages and adopt the pre-sorted arrays via
 :meth:`GraphIndex.from_arrays`.
 
-Lifecycle: the parent owns the segments (:class:`SharedGraphExport`),
-workers attach via :func:`attach_shared_graph` and keep the blocks
-referenced for the life of the pool, and the parent unlinks everything
-after the pool shuts down.
+Model parameters get the same treatment through
+:class:`SharedModelExport`, with one twist for training: the parent
+*republishes* new parameter values into the same segments after every
+optimizer step (:meth:`SharedModelExport.publish`) and stamps tasks
+with a version counter, so workers refresh their private copies with a
+plain ``memcpy`` instead of a per-step pickle round trip.  Writes only
+happen while no tasks are outstanding, so no synchronization beyond
+the version number is needed.
+
+Lifecycle: the parent owns the segments (:class:`SharedGraphExport` /
+:class:`SharedModelExport`), workers attach via
+:func:`attach_shared_graph` / :func:`attach_shared_model` and keep the
+blocks referenced for the life of the pool, and the parent unlinks
+everything after the pool shuts down.
 """
 
 from __future__ import annotations
@@ -191,3 +202,155 @@ def attach_shared_graph(spec: SharedGraphSpec) -> SharedGraph:
             block.close()
         raise
     return SharedGraph(features, index, blocks)
+
+
+# ----------------------------------------------------------------------
+# Model parameters
+# ----------------------------------------------------------------------
+def _named_model_parameters(model):
+    """``(qualified name, Parameter)`` pairs of both networks.
+
+    The ``online.`` / ``target.`` prefixes keep the two branches'
+    identically-named parameters apart in one flat dict.
+    """
+    for prefix, module in (("online.", model.online), ("target.", model.target)):
+        for name, param in module.named_parameters():
+            yield prefix + name, param
+
+
+@dataclass(frozen=True)
+class SharedModelSpec:
+    """Everything a worker needs to rebuild and refresh the model.
+
+    ``config`` (a plain dataclass) and ``num_features`` travel by
+    pickle once per task — they are tiny; the parameter *values* live
+    in the shared-memory ``arrays``.
+    """
+
+    num_features: int
+    config: object
+    arrays: Dict[str, SharedArraySpec]
+
+
+class SharedModelExport:
+    """Parent-side owner of model parameters placed into shared memory.
+
+    Unlike the immutable graph export, the parameter segments are a
+    *mailbox*: :meth:`publish` copies the model's current values into
+    the same buffers after every optimizer step.  Callers must only
+    publish while no worker tasks are outstanding (the engines
+    guarantee this — a step's tasks are all collected before the next
+    Adam update).
+    """
+
+    def __init__(self, spec: SharedModelSpec,
+                 blocks: List[shared_memory.SharedMemory],
+                 views: Dict[str, np.ndarray]):
+        self.spec = spec
+        self._blocks = blocks
+        self._views = views
+
+    @classmethod
+    def create(cls, model) -> "SharedModelExport":
+        """Export the parameters of a :class:`repro.core.Bourne`."""
+        blocks: List[shared_memory.SharedMemory] = []
+        views: Dict[str, np.ndarray] = {}
+        specs: Dict[str, SharedArraySpec] = {}
+        try:
+            for name, param in _named_model_parameters(model):
+                value = np.ascontiguousarray(param.data)
+                spec = _export_array(value, blocks)
+                specs[name] = spec
+                if spec.shm_name is not None:
+                    views[name] = np.ndarray(value.shape, dtype=value.dtype,
+                                             buffer=blocks[-1].buf)
+        except Exception:
+            for block in blocks:
+                block.close()
+                block.unlink()
+            raise
+        return cls(SharedModelSpec(model.num_features, model.config, specs),
+                   blocks, views)
+
+    def publish(self, model) -> None:
+        """Copy the model's current parameter values into the segments."""
+        for name, param in _named_model_parameters(model):
+            view = self._views.get(name)
+            if view is not None:
+                view[...] = param.data
+
+    def destroy(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        self._views = {}
+        while self._blocks:
+            block = self._blocks.pop()
+            try:
+                block.close()
+                block.unlink()
+            except OSError:
+                pass
+
+
+class AttachedModel:
+    """Worker-side model bound to a :class:`SharedModelExport`.
+
+    :meth:`load` refreshes the private parameter copies from the shared
+    segments when the parent's version counter moved; versions only
+    change between task waves, so a plain comparison suffices.
+    """
+
+    def __init__(self, model, views: Dict[str, np.ndarray],
+                 blocks: List[shared_memory.SharedMemory]):
+        self.model = model
+        self._views = views
+        self._blocks = blocks
+        self._version: Optional[int] = None
+
+    def load(self, version: int) -> "AttachedModel":
+        if version != self._version:
+            params = dict(_named_model_parameters(self.model))
+            for name, view in self._views.items():
+                params[name].data[...] = view
+            self._version = version
+        return self
+
+    def close(self) -> None:
+        self.model = None
+        self._views = {}
+        while self._blocks:
+            block = self._blocks.pop()
+            try:
+                block.close()
+            except OSError:
+                pass
+
+
+def attach_shared_model(spec: SharedModelSpec) -> AttachedModel:
+    """Worker-side reconstruction of the parent's model.
+
+    Builds a fresh :class:`~repro.core.Bourne` from the pickled config
+    (cheap — the graphs involved are tiny parameter tensors) and maps
+    the shared parameter segments; :meth:`AttachedModel.load` then
+    pulls in the parent's current values.
+    """
+    from ..core.model import Bourne
+
+    model = Bourne(spec.num_features, spec.config)
+    blocks: List[shared_memory.SharedMemory] = []
+    views: Dict[str, np.ndarray] = {}
+    try:
+        for name, array_spec in spec.arrays.items():
+            if array_spec.shm_name is None:
+                continue
+            block = _attach_block(array_spec.shm_name)
+            blocks.append(block)
+            view = np.ndarray(array_spec.shape,
+                              dtype=np.dtype(array_spec.dtype),
+                              buffer=block.buf)
+            view.flags.writeable = False
+            views[name] = view
+    except Exception:
+        for block in blocks:
+            block.close()
+        raise
+    return AttachedModel(model, views, blocks)

@@ -317,7 +317,8 @@ class ScoringService:
     # Incremental refresh
     # ------------------------------------------------------------------
     def refresh(self, workers: Optional[int] = None,
-                shards: Optional[int] = None) -> RefreshResult:
+                shards: Optional[int] = None,
+                pool=None) -> RefreshResult:
         """Bring the full score table up to date, re-scoring only nodes
         whose neighbourhood changed since their last score.
 
@@ -327,6 +328,9 @@ class ScoringService:
         shards of the miss queue with the *same* per-``(seed, round,
         target)`` streams the in-process path uses, and the merged node
         and edge tables are bitwise-identical to a serial refresh.
+        ``pool`` reuses a persistent :class:`repro.parallel.WorkerPool`
+        — for example one kept warm by a sharded trainer — instead of
+        spinning processes up per refresh.
         """
         n = self.store.num_nodes
         stale = [node for node in range(n)
@@ -334,7 +338,7 @@ class ScoringService:
                  or entry[1] < self.store.region_version(node)]
         if stale and workers is not None and workers > 1:
             self._refresh_sharded(np.asarray(stale, dtype=np.int64),
-                                  workers, shards)
+                                  workers, shards, pool)
         elif stale:
             targets = np.asarray(stale, dtype=np.int64)
             scores = self._score_targets(targets)
@@ -347,14 +351,14 @@ class ScoringService:
                              version=self.store.version)
 
     def _refresh_sharded(self, targets: np.ndarray, workers: int,
-                         shards: Optional[int]) -> None:
+                         shards: Optional[int], pool=None) -> None:
         """Score ``targets`` through the multi-process engine and fold
         the results into the node/edge tables exactly like
         :meth:`_score_targets` would."""
         from ..parallel import service_refresh_scores
 
         scores, edge_means, forward_batches = service_refresh_scores(
-            self, targets, workers=workers, shards=shards)
+            self, targets, workers=workers, shards=shards, pool=pool)
         version = self.store.version
         for node, score in zip(targets, scores):
             self._node_table[int(node)] = (float(score), version)
