@@ -3,10 +3,10 @@
 
 Compares every numeric ``*speedup*`` metric of freshly produced
 benchmark reports (``BENCH_sampling.json``, ``BENCH_parallel.json``,
-``BENCH_training.json``) against the committed baseline copies and
-fails when a fresh value drops below ``tolerance`` times its baseline —
-the blocking replacement for the old ``continue-on-error`` benchmark
-step.
+``BENCH_training.json``, ``BENCH_gateway.json``) against the committed
+baseline copies and fails when a fresh value drops below ``tolerance``
+times its baseline — the blocking replacement for the old
+``continue-on-error`` benchmark step.
 
 Usage::
 

@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Gateway smoke test: boot the real CLI server, fire mixed traffic.
+
+Launches ``python -m repro serve --listen`` as a subprocess (registry
+source, ephemeral port), then exercises the full surface over real
+sockets: concurrent NDJSON scoring, mutations, HTTP endpoints
+(``/healthz``, ``/metrics``, ``/v1/score_node``, ``/v1/score_edge``,
+``/v1/update``), a zero-downtime hot-swap via ``/v1/reload``, and a
+graceful SIGINT shutdown.  Exits non-zero on the first failed check —
+the CI gateway-smoke job runs this against every push.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.core import Bourne, BourneConfig  # noqa: E402
+from repro.datasets import load_benchmark  # noqa: E402
+from repro.eval import normalize_graph  # noqa: E402
+from repro.serving import ModelRegistry  # noqa: E402
+
+DATASET, SCALE = "cora", 0.08
+
+
+def check(condition, message):
+    if not condition:
+        raise AssertionError(message)
+    print(f"  ok: {message}")
+
+
+async def ndjson_session(host, port, requests):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        responses = []
+        for request in requests:
+            writer.write((json.dumps(request) + "\n").encode())
+            await writer.drain()
+            responses.append(json.loads(await reader.readline()))
+        return responses
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def http_request(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        writer.write((f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+                      f"Content-Length: {len(payload)}\r\n"
+                      f"Connection: close\r\n\r\n").encode() + payload)
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+            pass
+        return status, (await reader.read()).decode()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def drive(host, port, registry_dir, model_v2):
+    print("mixed NDJSON traffic (concurrent connections)...")
+    jobs = [ndjson_session(host, port, [{"op": "score", "nodes": [n]}])
+            for n in range(12)]
+    responses = [r for batch in await asyncio.gather(*jobs) for r in batch]
+    check(all(r["ok"] for r in responses), "12 concurrent scores answered")
+
+    mixed = await ndjson_session(host, port, [
+        {"op": "add_edge", "u": 0, "v": 7},
+        {"op": "score_edge", "u": 0, "v": 7},
+        {"op": "stats"},
+        {"op": "bogus"},
+    ])
+    check(mixed[0]["ok"], "add_edge applied")
+    check(mixed[1]["ok"] and isinstance(mixed[1]["score"], float),
+          "score_edge answered")
+    check(mixed[2]["stats"]["requests"] >= 12, "stats over the wire")
+    check(mixed[3]["ok"] is False, "unknown op rejected, connection alive")
+
+    print("HTTP endpoints...")
+    status, body = await http_request(host, port, "GET", "/healthz")
+    check(status == 200 and json.loads(body)["status"] == "serving",
+          "/healthz serving")
+    status, body = await http_request(host, port, "POST", "/v1/score_node",
+                                      {"node": 3})
+    check(status == 200 and "3" in json.loads(body)["scores"],
+          "/v1/score_node")
+    status, body = await http_request(host, port, "POST", "/v1/score_edge",
+                                      {"u": 0, "v": 7})
+    check(status == 200, "/v1/score_edge")
+    status, body = await http_request(host, port, "POST", "/v1/update",
+                                      {"op": "update_features", "node": 1,
+                                       "features": json.loads(
+                                           os.environ["SMOKE_FEATURES"])})
+    check(status == 200, "/v1/update update_features")
+    status, body = await http_request(host, port, "GET", "/metrics")
+    check(status == 200 and "gateway_requests_total" in body
+          and "gateway_batch_size_bucket" in body, "/metrics Prometheus text")
+
+    print("zero-downtime hot swap...")
+    version = ModelRegistry(registry_dir).publish(model_v2, "smoke")
+    inflight = [asyncio.ensure_future(
+        ndjson_session(host, port, [{"op": "score", "nodes": [n]}]))
+        for n in range(8)]
+    status, body = await http_request(host, port, "POST", "/v1/reload", {})
+    reload_body = json.loads(body)
+    check(status == 200 and reload_body["swapped"]
+          and reload_body["version"] == version, "reload swapped to v2")
+    during = [r for batch in await asyncio.gather(*inflight) for r in batch]
+    check(all(r["ok"] for r in during), "traffic during swap unharmed")
+    status, body = await http_request(host, port, "GET", "/healthz")
+    check(json.loads(body)["model_version"] == version,
+          "healthz reports new version")
+
+
+def main() -> int:
+    graph = normalize_graph(load_benchmark(DATASET, seed=0, scale=SCALE))
+    config = BourneConfig(hidden_dim=16, predictor_hidden=32, subgraph_size=4,
+                          eval_rounds=1, seed=0)
+    with tempfile.TemporaryDirectory() as tmp:
+        registry_dir = os.path.join(tmp, "registry")
+        registry = ModelRegistry(registry_dir)
+        registry.publish(Bourne(graph.num_features, config), "smoke")
+        model_v2 = Bourne(graph.num_features,
+                          BourneConfig(hidden_dim=16, predictor_hidden=32,
+                                       subgraph_size=4, eval_rounds=1,
+                                       seed=99))
+        os.environ["SMOKE_FEATURES"] = json.dumps(
+            [0.1] * graph.num_features)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (os.path.join(ROOT, "src")
+                             + os.pathsep + env.get("PYTHONPATH", ""))
+        print("booting: python -m repro serve --listen 127.0.0.1:0 ...")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--registry", registry_dir, "--name", "smoke",
+             "--dataset", DATASET, "--scale", str(SCALE), "--rounds", "1",
+             "--listen", "127.0.0.1:0", "--max-batch", "8",
+             "--max-delay-ms", "5", "--max-queue", "64"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            text=True)
+        try:
+            ready = json.loads(process.stdout.readline())
+            check(ready["op"] == "ready", "server announced readiness")
+            host, port = ready["listen"].rsplit(":", 1)
+            asyncio.run(drive(host, int(port), registry_dir, model_v2))
+
+            print("graceful shutdown (SIGINT)...")
+            process.send_signal(signal.SIGINT)
+            code = process.wait(timeout=30)
+            check(code == 0, f"clean exit (code {code})")
+        except Exception:
+            process.kill()
+            _, stderr = process.communicate(timeout=10)
+            print("--- server stderr ---", file=sys.stderr)
+            print(stderr, file=sys.stderr)
+            raise
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+    print("\ngateway smoke test PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    try:
+        code = main()
+    except AssertionError as error:
+        print(f"\ngateway smoke test FAILED: {error}", file=sys.stderr)
+        code = 1
+    print(f"({time.perf_counter() - start:.1f}s)")
+    sys.exit(code)

@@ -12,7 +12,11 @@ Commands
     Long-lived scoring service: load a checkpoint (directly or from a
     model registry), build a mutable graph store, and answer JSONL
     requests — score, add_node, add_edge, update_features, refresh,
-    stats — from stdin or a file.
+    stats — from stdin or a file.  With ``--listen HOST:PORT`` the
+    same request schema is served over the network instead, through
+    the async gateway (:mod:`repro.gateway`): NDJSON over TCP plus an
+    HTTP/1.1 adapter, with dynamic micro-batching, admission control,
+    Prometheus ``/metrics``, and zero-downtime model hot-swaps.
 ``experiment``
     Run one of the paper's table/figure experiments.
 ``datasets``
@@ -23,8 +27,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -91,6 +93,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="subgraph LRU capacity in (target, round) entries")
     serve.add_argument("--input", default="-",
                        help="JSONL request file ('-' for stdin)")
+    serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="serve over TCP through the async gateway "
+                            "instead of the stdin JSONL loop (NDJSON + "
+                            "HTTP/1.1; port 0 picks an ephemeral port)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch cap: concurrent score requests "
+                            "coalesce into one forward batch up to this size")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="micro-batch deadline: a partial batch is "
+                            "dispatched this long after its first request")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission bound: in-flight requests beyond "
+                            "this are shed with a 429-style rejection")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="per-client token-bucket rate in requests/s "
+                            "(default: unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst allowance "
+                            "(default: 2x --rate-limit)")
+    serve.add_argument("--poll-interval", type=float, default=None,
+                       help="seconds between registry checks for newly "
+                            "published model versions to hot-swap "
+                            "(with --registry; default: no watching)")
 
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="table2|table3|table4|table5|fig3..fig10|headline")
@@ -154,49 +179,68 @@ def _cmd_score(args) -> int:
 
 
 def _serve_request(service, request: dict, refresh_workers=None) -> dict:
-    """Dispatch one JSONL request against a :class:`ScoringService`.
+    """Dispatch one request against a :class:`ScoringService`.
 
-    ``refresh_workers`` is the server-wide default for ``refresh``
-    requests; a request may override it with its own ``workers`` field.
+    Kept as an alias of the transport-independent dispatcher
+    (:func:`repro.gateway.protocol.dispatch_request`) — the stdin JSONL
+    loop, the TCP NDJSON protocol, and the HTTP adapter all speak the
+    same schema.
     """
-    if not isinstance(request, dict):
-        raise ValueError(
-            f"request must be a JSON object, got {type(request).__name__}")
-    op = request.get("op")
-    store = service.store
-    if op == "score":
-        nodes = [int(n) for n in request["nodes"]]
-        scores = service.score_nodes(nodes)
-        return {"ok": True, "op": op,
-                "scores": {str(n): float(s) for n, s in zip(nodes, scores)}}
-    if op == "score_edge":
-        u, v = int(request["u"]), int(request["v"])
-        return {"ok": True, "op": op, "u": u, "v": v,
-                "score": service.score_edge(u, v)}
-    if op == "add_node":
-        features = np.asarray(request["features"], dtype=np.float64)
-        (node,) = store.add_nodes(features.reshape(1, -1))
-        return {"ok": True, "op": op, "node": int(node),
-                "version": store.version}
-    if op == "add_edge":
-        added = store.add_edge(int(request["u"]), int(request["v"]))
-        return {"ok": True, "op": op, "added": bool(added),
-                "version": store.version}
-    if op == "update_features":
-        features = np.asarray(request["features"], dtype=np.float64)
-        store.update_features([int(request["node"])], features.reshape(1, -1))
-        return {"ok": True, "op": op, "version": store.version}
-    if op == "refresh":
-        workers = request.get("workers", refresh_workers)
-        result = service.refresh(
-            workers=None if workers is None else int(workers))
-        order = np.argsort(result.scores)[::-1][:10]
-        return {"ok": True, "op": op, "rescored": result.num_rescored,
-                "num_nodes": len(result.scores),
-                "top_nodes": [int(n) for n in order]}
-    if op == "stats":
-        return {"ok": True, "op": op, "stats": service.stats()}
-    raise ValueError(f"unknown op {op!r}")
+    from .gateway.protocol import dispatch_request
+
+    return dispatch_request(service, request,
+                            refresh_workers=refresh_workers)
+
+
+def _serve_loop(service, source, out, refresh_workers=None) -> int:
+    """Answer JSONL requests from ``source`` on ``out``, one line each.
+
+    Robustness contract: malformed JSON or a failing request emits a
+    structured ``{"ok": false, ...}`` response (with ``error_type`` and
+    the request's ``id`` echoed when present) instead of a traceback;
+    every response is flushed per line so downstream pipes see it
+    promptly; a closed output pipe ends the loop cleanly instead of
+    crashing the process.
+    """
+    import json
+
+    from .gateway.protocol import (
+        REQUEST_ERRORS,
+        attach_request_id,
+        dispatch_request,
+        error_response,
+        parse_request,
+    )
+
+    def emit(response) -> bool:
+        try:
+            out.write(json.dumps(response) + "\n")
+            out.flush()
+            return True
+        except (BrokenPipeError, ValueError):
+            # Downstream pipe closed (or `out` itself was closed):
+            # stop serving; nobody is listening anymore.
+            return False
+
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        request = None
+        try:
+            request = parse_request(line)
+            response = attach_request_id(
+                dispatch_request(service, request,
+                                 refresh_workers=refresh_workers),
+                request)
+        # RuntimeError/OSError cover sharded-refresh failures (worker
+        # crash, shared-memory exhaustion): one bad request must not
+        # take the server down.
+        except REQUEST_ERRORS as error:
+            response = error_response(error, request)
+        if not emit(response):
+            return 0
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -207,11 +251,15 @@ def _cmd_serve(args) -> int:
     from .eval import normalize_graph
     from .serving import GraphStore, ModelRegistry, ScoringService
 
+    registry = None
+    model_version = None
     if args.registry:
         if not args.name:
             raise SystemExit("--registry requires --name")
-        model = ModelRegistry(args.registry).load(args.name,
-                                                  args.model_version)
+        registry = ModelRegistry(args.registry)
+        model_version = (args.model_version if args.model_version is not None
+                         else registry.latest(args.name))
+        model = registry.load(args.name, model_version)
     else:
         model = load_model(args.model)
     graph = normalize_graph(load_benchmark(args.dataset, seed=args.seed,
@@ -225,31 +273,39 @@ def _cmd_serve(args) -> int:
                                   influence_radius=model.config.hop_size)
     service = ScoringService(model, store, rounds=args.rounds,
                              cache_size=args.cache_size)
+
+    if args.listen:
+        import asyncio
+
+        from .gateway import run_gateway
+
+        host, _, port = args.listen.rpartition(":")
+        if not host or not port.isdigit() or int(port) > 65535:
+            raise SystemExit(f"--listen expects HOST:PORT, got {args.listen!r}")
+        try:
+            asyncio.run(run_gateway(
+                service, host, int(port),
+                registry=registry, model_name=args.name,
+                model_version=model_version,
+                max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+                max_queue=args.max_queue, rate=args.rate_limit,
+                burst=args.burst, refresh_workers=args.workers,
+                poll_interval=args.poll_interval,
+            ))
+        except KeyboardInterrupt:
+            pass  # asyncio.run cancelled the gateway; it drained on exit
+        return 0
+
     print(json.dumps({"ok": True, "op": "ready",
                       "num_nodes": store.num_nodes,
                       "num_edges": store.num_edges}), flush=True)
-
     source = sys.stdin if args.input == "-" else open(args.input)
     try:
-        for line in source:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                request = json.loads(line)
-                response = _serve_request(service, request,
-                                          refresh_workers=args.workers)
-            # RuntimeError/OSError cover sharded-refresh failures (worker
-            # crash, shared-memory exhaustion): one bad request must not
-            # take the server down.
-            except (ValueError, KeyError, IndexError, TypeError,
-                    RuntimeError, OSError) as error:
-                response = {"ok": False, "error": str(error)}
-            print(json.dumps(response), flush=True)
+        return _serve_loop(service, source, sys.stdout,
+                           refresh_workers=args.workers)
     finally:
         if source is not sys.stdin:
             source.close()
-    return 0
 
 
 def _cmd_experiment(args) -> int:

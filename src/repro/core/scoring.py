@@ -9,12 +9,27 @@ target's sampling seed from ``(base, target id)``, so scores never
 depend on batch layout; :func:`score_graph` exposes the same
 computation sharded over worker processes (``workers=``) with
 bitwise-identical output (see :mod:`repro.parallel`).
+
+Shared accumulation loop
+------------------------
+:func:`score_target_span` is THE inner scoring loop: the serial
+:func:`score_graph`, the sharded workers
+(:mod:`repro.parallel.engine`), and the serving layer
+(:class:`repro.serving.ScoringService`) all run it — they differ only
+in how a batch's views are built and which RNG streams feed the
+forward.  Bitwise equivalence between the serial, sharded, and served
+paths is therefore structural: there is exactly one accumulation order
+to drift from.  The helper returns :class:`RoundEvidence` — raw
+per-round edge contributions in target order — and
+:func:`replay_edge_rounds` / :func:`mean_edge_rounds` fold spans of
+evidence back together by replaying the serial accumulation sequence
+(rounds outermost, spans in ascending target order).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -102,6 +117,123 @@ def finalize_scores(node_sum: np.ndarray, node_count: np.ndarray,
     )
 
 
+@dataclass
+class RoundEvidence:
+    """Raw evidence accumulated over one contiguous span of targets.
+
+    ``node_sum``/``node_count`` align with the span's targets; edge
+    contributions are kept *per round and in target order* so callers
+    can replay the serial accumulation sequence exactly (floating-point
+    addition is order-sensitive — summing per-span partials would not
+    be bitwise-reproducible).
+    """
+
+    node_sum: np.ndarray
+    node_count: np.ndarray
+    edge_ids: List[np.ndarray] = field(default_factory=list)
+    edge_vals: List[np.ndarray] = field(default_factory=list)
+    forward_batches: int = 0
+
+
+def concat_round_parts(parts_ids: List[np.ndarray],
+                       parts_vals: List[np.ndarray]):
+    """Concatenate one round's per-batch edge evidence (empty-safe)."""
+    if parts_ids:
+        return np.concatenate(parts_ids), np.concatenate(parts_vals)
+    return np.zeros(0, dtype=np.int64), np.zeros(0)
+
+
+def score_target_span(
+    model: Bourne,
+    targets: np.ndarray,
+    rounds: int,
+    batch_size: int,
+    build_views: Callable[[np.ndarray, int], tuple],
+    forward_streams: Callable[[int], dict],
+) -> RoundEvidence:
+    """Run the multi-round scoring loop over one span of targets.
+
+    This is the single inner loop shared by the serial scorer, the
+    sharded workers, and the serving layer.  ``build_views(chunk,
+    round_index)`` returns the prepared ``(BatchedGraphViews,
+    BatchedHypergraphViews)`` for one micro-batch;
+    ``forward_streams(round_index)`` returns the keyword arguments that
+    pin the forward pass's RNG streams (``mask_seed=`` offline,
+    ``rng=`` in serving).  Both callbacks must be pure functions of
+    ``(chunk, round)`` — never of batch layout — which is what makes
+    every caller's output bitwise-identical however the span is split.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    width = len(targets)
+    evidence = RoundEvidence(node_sum=np.zeros(width),
+                             node_count=np.zeros(width))
+    for round_index in range(rounds):
+        parts_ids: List[np.ndarray] = []
+        parts_vals: List[np.ndarray] = []
+        for offset in range(0, width, batch_size):
+            chunk = targets[offset:offset + batch_size]
+            gviews, hviews = build_views(chunk, round_index)
+            scores = model.forward_batch(gviews, hviews,
+                                         **forward_streams(round_index))
+            evidence.forward_batches += 1
+            if scores.node_scores is not None:
+                evidence.node_sum[offset:offset + len(chunk)] += \
+                    scores.node_scores.data
+                evidence.node_count[offset:offset + len(chunk)] += 1
+            if scores.edge_scores is not None and len(scores.edge_orig_ids):
+                parts_ids.append(np.asarray(scores.edge_orig_ids,
+                                            dtype=np.int64))
+                parts_vals.append(scores.edge_scores.data)
+        ids, vals = concat_round_parts(parts_ids, parts_vals)
+        evidence.edge_ids.append(ids)
+        evidence.edge_vals.append(vals)
+    return evidence
+
+
+def offline_view_builder(model: Bourne, graph, round_bases: np.ndarray):
+    """``build_views`` callback of the offline batched path: vectorized
+    sampling + counter-based augmentation keyed by per-``(round,
+    target)`` seeds derived from one base per round."""
+    augment = model.config.augment_at_inference
+
+    def build(chunk: np.ndarray, round_index: int):
+        target_seeds = derive_target_seeds(round_bases[round_index], chunk)
+        return model.prepare_batch(graph, chunk, augment=augment,
+                                   target_seeds=target_seeds)
+
+    return build
+
+
+def replay_edge_rounds(edge_sum: np.ndarray, edge_count: np.ndarray,
+                       rounds: int, spans: Sequence[RoundEvidence]) -> None:
+    """Fold edge evidence into dense accumulators in serial order:
+    rounds outermost, spans in ascending target order — exactly the
+    sequence a single-process pass over the whole range adds in."""
+    for round_index in range(rounds):
+        for span in spans:
+            ids = span.edge_ids[round_index]
+            if len(ids):
+                np.add.at(edge_sum, ids, span.edge_vals[round_index])
+                np.add.at(edge_count, ids, 1)
+
+
+def mean_edge_rounds(rounds: int,
+                     spans: Sequence[RoundEvidence]) -> Dict[int, float]:
+    """Per-edge-id mean evidence, replayed in serial accumulation order
+    (the sparse counterpart of :func:`replay_edge_rounds`, used by the
+    serving layer's edge table)."""
+    edge_sums: Dict[int, float] = {}
+    edge_counts: Dict[int, int] = {}
+    for round_index in range(rounds):
+        for span in spans:
+            vals = span.edge_vals[round_index]
+            for eid, value in zip(span.edge_ids[round_index], vals):
+                eid = int(eid)
+                edge_sums[eid] = edge_sums.get(eid, 0.0) + float(value)
+                edge_counts[eid] = edge_counts.get(eid, 0) + 1
+    return {eid: total / edge_counts[eid] for eid, total in edge_sums.items()}
+
+
 def score_graph(
     model: Bourne,
     graph: Graph,
@@ -156,38 +288,42 @@ def score_graph(
             model, graph, rounds=rounds, batch_size=batch_size, seed=seed,
             workers=workers, shards=shards, planner=planner, pool=pool,
         )
-    if sampler == "batched":
-        # One base per round, drawn up front: per-target seeds derive
-        # from (round base, target id) — never from batch layout.
-        rng, round_bases, mask_seeds = inference_round_streams(cfg, rounds, seed)
-    else:
-        rng = rng_from_seed((cfg.seed if seed is None else seed)
-                            + INFERENCE_SEED_OFFSET)
-
-    node_sum = np.zeros(graph.num_nodes)
-    node_count = np.zeros(graph.num_nodes)
     edge_sum = np.zeros(graph.num_edges)
     edge_count = np.zeros(graph.num_edges)
 
     model.eval_mode()
-    # NOTE: repro.parallel.engine._score_shard mirrors this inner loop
-    # shard-locally; any change to the accumulation below must be
-    # mirrored there (tests/test_parallel_scoring.py pins the bitwise
-    # equivalence and will catch drift).
+    if sampler == "batched":
+        # One base per round, drawn up front: per-target seeds derive
+        # from (round base, target id) — never from batch layout.  The
+        # accumulation loop itself is score_target_span, shared with
+        # the sharded workers and the serving layer.
+        _, round_bases, mask_seeds = inference_round_streams(cfg, rounds, seed)
+        evidence = score_target_span(
+            model, np.arange(graph.num_nodes), rounds, batch_size,
+            offline_view_builder(model, graph, round_bases),
+            lambda round_index: {"mask_seed": int(mask_seeds[round_index])},
+        )
+        node_sum, node_count = evidence.node_sum, evidence.node_count
+        replay_edge_rounds(edge_sum, edge_count, rounds, [evidence])
+        model.train_mode()
+        return finalize_scores(node_sum, node_count, edge_sum, edge_count)
+
+    # Legacy per-target reference path: one sequential RNG threads
+    # through sampling, augmentation, and the forward mask, so it
+    # cannot share the counter-based span loop.
+    rng = rng_from_seed((cfg.seed if seed is None else seed)
+                        + INFERENCE_SEED_OFFSET)
+    node_sum = np.zeros(graph.num_nodes)
+    node_count = np.zeros(graph.num_nodes)
     all_nodes = np.arange(graph.num_nodes)
     for round_index in range(rounds):
         for start in range(0, graph.num_nodes, batch_size):
             batch = all_nodes[start:start + batch_size]
-            target_seeds = (derive_target_seeds(round_bases[round_index], batch)
-                            if sampler == "batched" else None)
             gviews, hviews = model.prepare_batch(
                 graph, batch, rng=rng, augment=cfg.augment_at_inference,
-                sampler=sampler, target_seeds=target_seeds,
+                sampler=sampler,
             )
-            mask_seed = (int(mask_seeds[round_index])
-                         if sampler == "batched" else None)
-            scores = model.forward_batch(gviews, hviews, rng=rng,
-                                         mask_seed=mask_seed)
+            scores = model.forward_batch(gviews, hviews, rng=rng)
             if scores.node_scores is not None:
                 values = scores.node_scores.data
                 node_sum[batch] += values

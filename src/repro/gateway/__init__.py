@@ -1,0 +1,59 @@
+"""Async serving gateway: networked API over the online scoring layer.
+
+Builds the network front door for :mod:`repro.serving` — an asyncio TCP
+server speaking newline-delimited JSON plus an HTTP/1.1 adapter, with
+dynamic micro-batching (concurrent requests coalesce into shared
+forward batches, bitwise-equal to sequential scoring), admission
+control with load shedding and per-client rate limits, Prometheus
+metrics, graceful drain, and zero-downtime model hot-swaps from a
+:class:`~repro.serving.registry.ModelRegistry`.
+"""
+
+from .admission import (
+    DRAINING,
+    QUEUE_FULL,
+    RATE_LIMITED,
+    AdmissionController,
+    TokenBucket,
+)
+from .batcher import MicroBatcher
+from .metrics import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .protocol import (
+    REQUEST_ERRORS,
+    UPDATE_OPS,
+    attach_request_id,
+    dispatch_request,
+    error_response,
+    parse_request,
+)
+from .server import Gateway, run_gateway
+
+__all__ = [
+    "Gateway",
+    "run_gateway",
+    "MicroBatcher",
+    "AdmissionController",
+    "TokenBucket",
+    "QUEUE_FULL",
+    "RATE_LIMITED",
+    "DRAINING",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "BATCH_BUCKETS",
+    "dispatch_request",
+    "parse_request",
+    "error_response",
+    "attach_request_id",
+    "REQUEST_ERRORS",
+    "UPDATE_OPS",
+]

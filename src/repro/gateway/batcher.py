@@ -1,0 +1,224 @@
+"""Dynamic micro-batching: coalesce concurrent score requests.
+
+Concurrent clients each ask for one score at a time, but a forward pass
+over a batch of ``B`` targets costs far less than ``B`` single-target
+passes (the block-diagonal sparse matmuls are shared).  The
+:class:`MicroBatcher` bridges that gap: score requests queue up on the
+event loop, a dispatcher collects them into batches bounded by
+``max_batch`` (size) and ``max_delay_ms`` (deadline), and each batch is
+scored by ONE ``ScoringService.score_nodes`` call.
+
+Determinism: the service derives every draw from ``(seed, round,
+target)`` — never from batch layout — so a coalesced batch scores
+bitwise-equal to the same requests issued sequentially (the gateway pin
+tests assert this).  Coalescing changes latency, never scores.
+
+Threading model: all ``ScoringService`` access — coalesced scoring,
+mutations, stats, refresh, and model swaps — runs on ONE dedicated
+executor thread, submitted FIFO.  That serializes the service without
+locks and gives hot-swaps a natural barrier: a swap submitted while a
+batch is scoring runs *between* batches, never inside one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional, Tuple
+
+from .metrics import BATCH_BUCKETS, MetricsRegistry
+
+
+@dataclass
+class _ScoreItem:
+    """One queued score request awaiting a batch."""
+
+    kind: str                    # "node" | "edge"
+    payload: Tuple[int, ...]     # (node,) or (u, v)
+    future: "asyncio.Future[float]" = field(repr=False, default=None)
+
+
+class MicroBatcher:
+    """Deadline/size-bounded coalescer over a :class:`ScoringService`.
+
+    Parameters
+    ----------
+    service:
+        The scoring service; accessed only from the batcher's executor
+        thread after :meth:`start`.
+    max_batch:
+        Dispatch a batch as soon as this many requests are waiting.
+    max_delay_ms:
+        Dispatch a partial batch this long after its first request
+        arrived — the latency price paid for coalescing opportunity.
+    metrics:
+        Optional :class:`MetricsRegistry` to record batch sizes, queue
+        depth, and dispatch counts into.
+    """
+
+    def __init__(self, service, max_batch: int = 32,
+                 max_delay_ms: float = 2.0,
+                 metrics: Optional[MetricsRegistry] = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay_ms) / 1000.0
+        self._pending: Deque[_ScoreItem] = deque()
+        self._wakeup: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="scoring")
+        self._stopping = False
+        self._started = False
+        self.batches_dispatched = 0
+        self.requests_coalesced = 0
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._batch_hist = metrics.histogram(
+            "gateway_batch_size", "requests coalesced per forward batch",
+            buckets=BATCH_BUCKETS)
+        self._queue_gauge = metrics.gauge(
+            "gateway_batcher_queue_depth", "score requests awaiting a batch",
+            fn=lambda: len(self._pending))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._stopping = False
+        self._wakeup = asyncio.Event()
+        self._dispatcher = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Flush every queued request, then stop the dispatcher."""
+        if not self._started:
+            return
+        self._stopping = True
+        self._wakeup.set()
+        await self._dispatcher
+        self._dispatcher = None
+        self._started = False
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Request API (event-loop side)
+    # ------------------------------------------------------------------
+    async def score_node(self, node: int) -> float:
+        return await self._enqueue("node", (int(node),))
+
+    async def score_edge(self, u: int, v: int) -> float:
+        return await self._enqueue("edge", (int(u), int(v)))
+
+    async def submit(self, fn, *args) -> Any:
+        """Run ``fn(*args)`` on the scoring thread (mutations, stats,
+        refresh, model swaps).  FIFO with batch jobs, so a submitted
+        call never interleaves with a forward batch."""
+        if not self._started or self._stopping:
+            raise RuntimeError("batcher is not accepting work")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    async def swap_model(self, model) -> None:
+        """Hot-swap the served model between batches."""
+        await self.submit(self.service.swap_model, model)
+
+    def _enqueue(self, kind: str, payload: Tuple[int, ...]):
+        if not self._started or self._stopping:
+            raise RuntimeError("batcher is not accepting work")
+        loop = asyncio.get_running_loop()
+        item = _ScoreItem(kind, payload, loop.create_future())
+        self._pending.append(item)
+        self._wakeup.set()
+        return item.future
+
+    # ------------------------------------------------------------------
+    # Dispatcher (event-loop side)
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._stopping:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            # A batch window opens with the oldest waiting request and
+            # closes at max_batch items or max_delay seconds, whichever
+            # comes first (stopping closes it immediately: drain fast).
+            deadline = loop.time() + self.max_delay
+            while len(self._pending) < self.max_batch and not self._stopping:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = [self._pending.popleft()
+                     for _ in range(min(self.max_batch, len(self._pending)))]
+            await self._dispatch(batch)
+
+    async def _dispatch(self, batch: List[_ScoreItem]) -> None:
+        loop = asyncio.get_running_loop()
+        self.batches_dispatched += 1
+        self.requests_coalesced += len(batch)
+        self._batch_hist.observe(len(batch))
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._score_batch, batch)
+        except Exception as error:  # scoring thread died — fail the batch
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+            return
+        for item, outcome in results:
+            if item.future.done():
+                continue
+            if isinstance(outcome, BaseException):
+                item.future.set_exception(outcome)
+            else:
+                item.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # Scoring (executor-thread side)
+    # ------------------------------------------------------------------
+    def _score_batch(self, batch: List[_ScoreItem]) -> List[tuple]:
+        """Score one coalesced batch; per-item errors never poison the
+        rest of the batch (an out-of-range node fails alone)."""
+        service = self.service
+        results: List[tuple] = []
+        node_items: List[_ScoreItem] = []
+        for item in batch:
+            if item.kind == "node":
+                node = item.payload[0]
+                if 0 <= node < service.store.num_nodes:
+                    node_items.append(item)
+                else:
+                    results.append((item, IndexError(
+                        f"node {node} not in store "
+                        f"(num_nodes={service.store.num_nodes})")))
+            else:
+                try:
+                    results.append(
+                        (item, service.score_edge(*item.payload)))
+                except Exception as error:
+                    results.append((item, error))
+        if node_items:
+            try:
+                scores = service.score_nodes(
+                    [item.payload[0] for item in node_items])
+                results.extend(
+                    (item, float(score))
+                    for item, score in zip(node_items, scores))
+            except Exception as error:
+                results.extend((item, error) for item in node_items)
+        return results

@@ -1,0 +1,118 @@
+"""Request protocol shared by every serving transport.
+
+One request schema serves three transports: the CLI's stdin JSONL loop,
+the gateway's newline-delimited-JSON TCP protocol, and the gateway's
+HTTP adapter.  A request is a JSON object with an ``op`` field::
+
+    {"op": "score", "nodes": [0, 1, 2]}
+    {"op": "score_edge", "u": 0, "v": 5}
+    {"op": "add_node", "features": [...]}
+    {"op": "add_edge", "u": 0, "v": 5}
+    {"op": "update_features", "node": 3, "features": [...]}
+    {"op": "refresh", "workers": 4}
+    {"op": "stats"}
+
+Responses echo ``op`` (and ``id`` when the request carried one, so
+pipelining clients can correlate) and set ``ok``.  Errors come back as
+``{"ok": false, "error": ..., "error_type": ...}`` — a bad request must
+never take a server down, whichever transport delivered it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+#: Exception types a request handler converts into an error response.
+#: RuntimeError/OSError cover sharded-refresh failures (worker crash,
+#: shared-memory exhaustion).
+REQUEST_ERRORS = (ValueError, KeyError, IndexError, TypeError,
+                  RuntimeError, OSError)
+
+#: Ops accepted through the gateway's ``POST /v1/update`` endpoint.
+UPDATE_OPS = frozenset({"add_node", "add_edge", "update_features",
+                        "refresh"})
+
+
+def parse_request(line: str) -> dict:
+    """Parse one JSONL request line; raises ``ValueError`` with a
+    client-presentable message on malformed input."""
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"invalid JSON: {error}") from error
+    if not isinstance(request, dict):
+        raise ValueError(
+            f"request must be a JSON object, got {type(request).__name__}")
+    return request
+
+
+def error_response(error: BaseException,
+                   request: Optional[dict] = None) -> dict:
+    """Structured error envelope (echoes the request's op/id)."""
+    response = {"ok": False, "error": str(error),
+                "error_type": type(error).__name__}
+    if isinstance(request, dict):
+        if "op" in request:
+            response["op"] = request["op"]
+        if "id" in request:
+            response["id"] = request["id"]
+    return response
+
+
+def attach_request_id(response: dict, request) -> dict:
+    """Echo a request's ``id`` into its response (no-op without one)."""
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def dispatch_request(service, request: dict,
+                     refresh_workers: Optional[int] = None) -> dict:
+    """Dispatch one request against a :class:`ScoringService`.
+
+    ``refresh_workers`` is the server-wide default for ``refresh``
+    requests; a request may override it with its own ``workers`` field.
+    Raises one of :data:`REQUEST_ERRORS` on bad input — the transport
+    wraps it with :func:`error_response`.
+    """
+    if not isinstance(request, dict):
+        raise ValueError(
+            f"request must be a JSON object, got {type(request).__name__}")
+    op = request.get("op")
+    store = service.store
+    if op == "score":
+        nodes = [int(n) for n in request["nodes"]]
+        scores = service.score_nodes(nodes)
+        return {"ok": True, "op": op,
+                "scores": {str(n): float(s) for n, s in zip(nodes, scores)}}
+    if op == "score_edge":
+        u, v = int(request["u"]), int(request["v"])
+        return {"ok": True, "op": op, "u": u, "v": v,
+                "score": service.score_edge(u, v)}
+    if op == "add_node":
+        features = np.asarray(request["features"], dtype=np.float64)
+        (node,) = store.add_nodes(features.reshape(1, -1))
+        return {"ok": True, "op": op, "node": int(node),
+                "version": store.version}
+    if op == "add_edge":
+        added = store.add_edge(int(request["u"]), int(request["v"]))
+        return {"ok": True, "op": op, "added": bool(added),
+                "version": store.version}
+    if op == "update_features":
+        features = np.asarray(request["features"], dtype=np.float64)
+        store.update_features([int(request["node"])], features.reshape(1, -1))
+        return {"ok": True, "op": op, "version": store.version}
+    if op == "refresh":
+        workers = request.get("workers", refresh_workers)
+        result = service.refresh(
+            workers=None if workers is None else int(workers))
+        order = np.argsort(result.scores)[::-1][:10]
+        return {"ok": True, "op": op, "rescored": result.num_rescored,
+                "num_nodes": len(result.scores),
+                "top_nodes": [int(n) for n in order]}
+    if op == "stats":
+        return {"ok": True, "op": op, "stats": service.stats()}
+    raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,461 @@
+"""Asyncio serving gateway: one engine, two wire protocols.
+
+:class:`Gateway` puts a network front door on a
+:class:`~repro.serving.service.ScoringService`:
+
+* **NDJSON over TCP** — the CLI's stdin JSONL schema
+  (:mod:`repro.gateway.protocol`), one request object per line, one
+  response line each, pipelinable.  A connection speaks NDJSON unless
+  its first line looks like an HTTP request.
+* **HTTP/1.1 adapter** — ``POST /v1/score_node``, ``POST
+  /v1/score_edge``, ``POST /v1/update``, ``POST /v1/reload``, ``GET
+  /healthz``, ``GET /metrics`` (Prometheus text), ``GET /v1/stats``.
+  Keep-alive supported; bodies are JSON.
+
+Score requests from every connection funnel into one
+:class:`~repro.gateway.batcher.MicroBatcher`, so concurrent clients
+share forward batches (bitwise-equal to sequential scoring — the
+service's counter-based RNG guarantees it).  Admission control sheds
+load before it queues (HTTP 429 / 503 + JSON ``code``), and a
+registry watcher hot-swaps newly published model versions between
+batches with zero downtime.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from .admission import DRAINING, AdmissionController
+from .batcher import MicroBatcher
+from .metrics import LATENCY_BUCKETS, MetricsRegistry
+from .protocol import (
+    REQUEST_ERRORS,
+    UPDATE_OPS,
+    attach_request_id,
+    dispatch_request,
+    error_response,
+    parse_request,
+)
+
+#: HTTP status by admission rejection reason.
+_SHED_STATUS = {DRAINING: 503}
+_MAX_LINE = 1 << 20  # 1 MiB: update_features bodies on wide graphs
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"PUT ", b"DELETE ", b"HEAD ",
+                 b"OPTIONS ", b"PATCH ")
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class Gateway:
+    """Networked serving gateway over one :class:`ScoringService`.
+
+    Parameters
+    ----------
+    service:
+        The scoring service; after :meth:`start` it must only be
+        touched through the gateway (the batcher owns its thread).
+    registry / model_name:
+        Optional :class:`~repro.serving.registry.ModelRegistry` source
+        enabling ``POST /v1/reload`` and background version watching.
+    max_batch / max_delay_ms:
+        Micro-batching knobs (see :class:`MicroBatcher`).
+    max_queue / rate / burst:
+        Admission knobs (see :class:`AdmissionController`).
+    refresh_workers:
+        Server-wide default for ``refresh`` requests' sharded drain.
+    poll_interval:
+        Seconds between registry version checks; ``None`` disables the
+        watcher (``/v1/reload`` still works).
+    """
+
+    def __init__(self, service, registry=None, model_name: Optional[str] = None,
+                 *, max_batch: int = 32, max_delay_ms: float = 2.0,
+                 max_queue: int = 256, rate: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 refresh_workers: Optional[int] = None,
+                 poll_interval: Optional[float] = None,
+                 model_version: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.service = service
+        self.registry = registry
+        self.model_name = model_name
+        self.refresh_workers = refresh_workers
+        self.poll_interval = poll_interval
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.batcher = MicroBatcher(service, max_batch=max_batch,
+                                    max_delay_ms=max_delay_ms,
+                                    metrics=self.metrics)
+        self.admission = AdmissionController(max_queue=max_queue,
+                                             rate=rate, burst=burst)
+        self.served_version = model_version
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._watcher: Optional[asyncio.Task] = None
+        self._requests_total = self.metrics.counter(
+            "gateway_requests_total", "requests received (all transports)")
+        self._shed_total = self.metrics.counter(
+            "gateway_shed_total", "requests rejected by admission control")
+        self._errors_total = self.metrics.counter(
+            "gateway_request_errors_total", "requests answered with ok=false")
+        self._swaps_total = self.metrics.counter(
+            "gateway_model_swaps_total", "zero-downtime model hot-swaps")
+        self._connections = self.metrics.counter(
+            "gateway_connections_total", "TCP connections accepted")
+        self._latency = self.metrics.histogram(
+            "gateway_request_latency_seconds",
+            "request latency from parse to response", LATENCY_BUCKETS)
+        self.metrics.gauge("gateway_inflight",
+                           "admitted requests not yet answered",
+                           fn=lambda: self.admission.inflight)
+        self.metrics.gauge("gateway_draining", "1 while draining",
+                           fn=lambda: float(self.admission.draining))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Start the batcher, the TCP server, and (optionally) the
+        registry watcher; returns the bound ``(host, port)``."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=_MAX_LINE)
+        if (self.registry is not None and self.model_name is not None
+                and self.poll_interval is not None):
+            self._watcher = asyncio.ensure_future(self._watch_registry())
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def stop(self, drain_timeout: float = 30.0) -> bool:
+        """Graceful shutdown: stop accepting, drain in-flight requests,
+        flush the batcher.  Returns ``True`` if the drain completed
+        inside ``drain_timeout``."""
+        if self._watcher is not None:
+            self._watcher.cancel()
+            try:
+                await self._watcher
+            except asyncio.CancelledError:
+                pass
+            self._watcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.admission.begin_drain()
+        drained = await self.admission.wait_drained(drain_timeout)
+        await self.batcher.stop()
+        return drained
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections.inc()
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if peer else "unknown"
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.startswith(_HTTP_METHODS):
+                await self._http_loop(reader, writer, first, client)
+            else:
+                await self._ndjson_loop(reader, writer, first, client)
+        # ValueError covers StreamReader.readline on an over-limit line
+        # (it converts LimitOverrunError): drop the connection cleanly —
+        # the stream cannot be resynced past a truncated request.
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            pass  # client went away or sent garbage; nothing to answer
+        finally:
+            self.admission.forget_client(client)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # NDJSON transport
+    # ------------------------------------------------------------------
+    async def _ndjson_loop(self, reader, writer, first_line: bytes,
+                           client: str) -> None:
+        line = first_line
+        while line:
+            text = line.decode("utf-8", errors="replace").strip()
+            if text:
+                response = await self._handle_request_line(text, client)
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+            line = await reader.readline()
+
+    async def _handle_request_line(self, text: str, client: str) -> dict:
+        try:
+            request = parse_request(text)
+        except ValueError as error:
+            self._errors_total.inc()
+            return error_response(error)
+        return await self.dispatch(request, client)
+
+    # ------------------------------------------------------------------
+    # Request dispatch (shared by both transports)
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: dict, client: str) -> dict:
+        """Admit, route, and time one parsed request."""
+        self._requests_total.inc()
+        reason = self.admission.admit(client)
+        if reason is not None:
+            self._shed_total.inc()
+            return attach_request_id(
+                {"ok": False, "error": f"request rejected: {reason}",
+                 "reason": reason, "code": _SHED_STATUS.get(reason, 429)},
+                request)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            response = await self._route_op(request)
+        except REQUEST_ERRORS as error:
+            self._errors_total.inc()
+            response = error_response(error, request)
+        finally:
+            self.admission.release()
+            self._latency.observe(loop.time() - started)
+        return attach_request_id(response, request)
+
+    async def _route_op(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "score":
+            nodes = [int(n) for n in request["nodes"]]
+            scores = await asyncio.gather(
+                *(self.batcher.score_node(n) for n in nodes),
+                return_exceptions=True)
+            for score in scores:  # retrieve every failure, raise the first
+                if isinstance(score, BaseException):
+                    raise score
+            return {"ok": True, "op": op,
+                    "scores": {str(n): float(s)
+                               for n, s in zip(nodes, scores)}}
+        if op == "score_edge":
+            u, v = int(request["u"]), int(request["v"])
+            score = await self.batcher.score_edge(u, v)
+            return {"ok": True, "op": op, "u": u, "v": v, "score": score}
+        if op == "reload":
+            return await self.reload(request.get("version"))
+        # Mutations / stats / refresh run serialized on the scoring
+        # thread, FIFO with forward batches.
+        return await self.batcher.submit(
+            dispatch_request, self.service, request, self.refresh_workers)
+
+    # ------------------------------------------------------------------
+    # Model hot-swap
+    # ------------------------------------------------------------------
+    async def reload(self, version: Optional[int] = None) -> dict:
+        """Swap to a registry version (latest when unspecified).
+
+        The checkpoint loads off-thread, then the swap itself runs on
+        the scoring thread between batches — in-flight and queued
+        requests before the swap score under the old weights, requests
+        after it under the new ones, and nobody observes a torn model.
+        """
+        if self.registry is None or self.model_name is None:
+            raise ValueError("no model registry configured")
+        loop = asyncio.get_running_loop()
+        if version is None:
+            version = await loop.run_in_executor(
+                None, self.registry.latest, self.model_name)
+        version = int(version)
+        if version == self.served_version:
+            return {"ok": True, "op": "reload", "version": version,
+                    "swapped": False}
+        model = await loop.run_in_executor(
+            None, self.registry.load, self.model_name, version)
+        await self.batcher.swap_model(model)
+        self.served_version = version
+        self._swaps_total.inc()
+        return {"ok": True, "op": "reload", "version": version,
+                "swapped": True}
+
+    async def _watch_registry(self) -> None:
+        """Poll the registry; hot-swap when a newer version appears."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.poll_interval)
+            try:
+                latest = await loop.run_in_executor(
+                    None, self.registry.latest, self.model_name)
+                if latest != self.served_version:
+                    await self.reload(latest)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # Registry hiccups (partial publish, fs errors) must
+                # not kill the watcher; next poll retries.
+                self._errors_total.inc()
+
+    # ------------------------------------------------------------------
+    # HTTP transport
+    # ------------------------------------------------------------------
+    async def _http_loop(self, reader, writer, request_line: bytes,
+                         client: str) -> None:
+        while True:
+            if request_line is None:
+                request_line = await reader.readline()
+                if not request_line:
+                    return
+            try:
+                method, path, http_version = \
+                    request_line.decode("latin-1").split(None, 2)
+            except ValueError:
+                await self._write_http(writer, 400,
+                                       {"ok": False, "error": "bad request"},
+                                       close=True)
+                return
+            headers = {}
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = header.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            try:
+                length = int(headers.get("content-length", 0) or 0)
+            except ValueError:
+                await self._write_http(
+                    writer, 400,
+                    {"ok": False, "error": "bad Content-Length"}, close=True)
+                return
+            if length:
+                body = await reader.readexactly(length)
+            keep_alive = (headers.get("connection", "").lower() != "close"
+                          and http_version.strip().upper() != "HTTP/1.0")
+            status, payload, content_type = await self._http_route(
+                method.upper(), path, body, client)
+            await self._write_http(writer, status, payload,
+                                   content_type=content_type,
+                                   close=not keep_alive)
+            if not keep_alive:
+                return
+            request_line = None
+
+    async def _http_route(self, method: str, path: str, body: bytes,
+                          client: str):
+        """Route one HTTP request to the shared dispatcher."""
+        path = path.split("?", 1)[0]
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {"ok": True,
+                             "status": ("draining" if self.admission.draining
+                                        else "serving"),
+                             "model_version": self.served_version,
+                             "num_nodes": self.service.store.num_nodes,
+                             "num_edges": self.service.store.num_edges}, None
+            if path == "/metrics":
+                return 200, await self.render_metrics(), "text/plain; version=0.0.4"
+            if path == "/v1/stats":
+                response = await self.dispatch({"op": "stats"}, client)
+                return (200 if response.get("ok") else 500), response, None
+            return 404, {"ok": False, "error": f"no route GET {path}"}, None
+        if method != "POST":
+            return 405, {"ok": False,
+                         "error": f"method {method} not allowed"}, None
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(request, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as error:
+            self._errors_total.inc()
+            return 400, error_response(error), None
+        route_ops = {"/v1/score_node": "score", "/v1/score_edge": "score_edge",
+                     "/v1/reload": "reload"}
+        if path in route_ops:
+            request["op"] = route_ops[path]
+            if request["op"] == "score" and "nodes" not in request:
+                if "node" not in request:
+                    return 400, {"ok": False,
+                                 "error": "body needs 'node' or 'nodes'"}, None
+                request["nodes"] = [request.pop("node")]
+        elif path == "/v1/update":
+            if request.get("op") not in UPDATE_OPS:
+                return 400, {"ok": False,
+                             "error": "update op must be one of "
+                                      + ", ".join(sorted(UPDATE_OPS))}, None
+        else:
+            return 404, {"ok": False, "error": f"no route POST {path}"}, None
+        response = await self.dispatch(request, client)
+        if response.get("ok"):
+            return 200, response, None
+        return response.get("code", 400), response, None
+
+    async def render_metrics(self) -> str:
+        """Prometheus text: gateway metrics + the service's counters
+        (fetched on the scoring thread, so reads never race a batch)."""
+        try:
+            stats = await self.batcher.submit(self.service.stats)
+        except RuntimeError:
+            stats = self.service.stats()  # draining: thread is quiet
+        for key, value in stats.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.metrics.gauge(f"service_{key}").set(value)
+        hits = stats.get("cache_hits", 0)
+        misses = stats.get("cache_misses", 0)
+        self.metrics.gauge(
+            "service_cache_hit_rate",
+            "subgraph cache hits / lookups").set(
+                hits / (hits + misses) if hits + misses else 0.0)
+        return self.metrics.render()
+
+    async def _write_http(self, writer, status: int, payload,
+                          content_type: Optional[str] = None,
+                          close: bool = False) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            ctype = content_type or "text/plain"
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            ctype = content_type or "application/json"
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n")
+        if status == 429:
+            head += "Retry-After: 1\r\n"
+        head += f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+async def run_gateway(service, host: str, port: int, *,
+                      registry=None, model_name: Optional[str] = None,
+                      ready_line: bool = True,
+                      **gateway_kwargs) -> None:
+    """Run a gateway until cancelled (the CLI's ``--listen`` path).
+
+    Prints one NDJSON ready line with the bound address so callers
+    (scripts, the smoke test) can discover an ephemeral port.  On
+    cancellation (SIGINT via ``asyncio.run``'s KeyboardInterrupt
+    handling) the gateway drains gracefully.
+    """
+    gateway = Gateway(service, registry=registry, model_name=model_name,
+                      **gateway_kwargs)
+    bound_host, bound_port = await gateway.start(host, port)
+    if ready_line:
+        print(json.dumps({"ok": True, "op": "ready",
+                          "listen": f"{bound_host}:{bound_port}",
+                          "num_nodes": service.store.num_nodes,
+                          "num_edges": service.store.num_edges}), flush=True)
+    try:
+        await gateway.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await gateway.stop()

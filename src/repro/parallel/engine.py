@@ -37,10 +37,15 @@ import numpy as np
 from ..core.model import Bourne
 from ..core.scoring import (
     AnomalyScores,
+    RoundEvidence,
     finalize_scores,
     inference_round_streams,
+    mean_edge_rounds,
+    offline_view_builder,
+    replay_edge_rounds,
+    score_target_span,
 )
-from ..graph.index import derive_target_seeds, index_of
+from ..graph.index import index_of
 from ..serving import service as serving_service
 from .planner import ContiguousShardPlanner, ShardPlanner, validate_plan
 from .shm import (
@@ -239,88 +244,62 @@ class WorkerPool:
 
 
 @dataclass
-class ShardScore:
-    """Raw evidence one worker collected for one contiguous shard.
+class ShardScore(RoundEvidence):
+    """One worker's :class:`RoundEvidence` plus its shard placement.
 
-    Edge contributions are kept per round and in target order so the
-    parent can replay the serial accumulation sequence exactly.
+    Both worker kinds run the *same* ``score_target_span`` loop the
+    serial scorer and the in-process service run — bitwise equivalence
+    is structural, not mirrored code.
     """
 
-    start: int
-    stop: int
-    node_sum: np.ndarray
-    node_count: np.ndarray
-    edge_ids: List[np.ndarray]
-    edge_vals: List[np.ndarray]
-    forward_batches: int = 0
+    start: int = 0
+    stop: int = 0
 
 
-def _concat_round(parts_ids: List[np.ndarray], parts_vals: List[np.ndarray]):
-    if parts_ids:
-        return np.concatenate(parts_ids), np.concatenate(parts_vals)
-    return np.zeros(0, dtype=np.int64), np.zeros(0)
+def _as_shard_score(evidence: RoundEvidence, start: int, stop: int) -> ShardScore:
+    return ShardScore(
+        node_sum=evidence.node_sum,
+        node_count=evidence.node_count,
+        edge_ids=evidence.edge_ids,
+        edge_vals=evidence.edge_vals,
+        forward_batches=evidence.forward_batches,
+        start=start,
+        stop=stop,
+    )
 
 
 def _score_shard(task: tuple) -> ShardScore:
     """Score one contiguous target shard (runs in a worker process).
 
-    Mirrors the serial ``score_graph`` inner loop: identical per-round
-    bases, identical per-target seeds (which drive sampling *and* view
-    augmentation), identical per-round forward mask seeds — only the
-    batch boundaries are shard-local, which the batch-invariant
-    pipeline makes unobservable.
+    Runs the shared span loop with the offline view builder: identical
+    per-round bases, identical per-target seeds (which drive sampling
+    *and* view augmentation), identical per-round forward mask seeds —
+    only the batch boundaries are shard-local, which the
+    batch-invariant pipeline makes unobservable.
     """
     graph_ref, model_ref, rest = task[0], task[1], task[2:]
-    start, stop, round_bases, mask_seeds, batch_size, augment, fail = rest
+    start, stop, round_bases, mask_seeds, batch_size, fail = rest
     if fail:
         raise RuntimeError(f"injected failure in shard "
                            f"[{start}, {stop})")
     graph = _ensure_graph(graph_ref)
     model = _ensure_model(model_ref)
     model.eval_mode()
-    width = stop - start
-    node_sum = np.zeros(width)
-    node_count = np.zeros(width)
-    edge_ids: List[np.ndarray] = []
-    edge_vals: List[np.ndarray] = []
-    forwards = 0
-    targets = np.arange(start, stop, dtype=np.int64)
-    for round_index in range(len(round_bases)):
-        parts_ids: List[np.ndarray] = []
-        parts_vals: List[np.ndarray] = []
-        for offset in range(0, width, batch_size):
-            upto = min(offset + batch_size, width)
-            batch = targets[offset:upto]
-            target_seeds = derive_target_seeds(round_bases[round_index], batch)
-            gviews, hviews = model.prepare_batch(
-                graph,
-                batch,
-                augment=augment,
-                target_seeds=target_seeds,
-            )
-            scores = model.forward_batch(
-                gviews, hviews, mask_seed=int(mask_seeds[round_index])
-            )
-            forwards += 1
-            if scores.node_scores is not None:
-                node_sum[offset:upto] += scores.node_scores.data
-                node_count[offset:upto] += 1
-            if scores.edge_scores is not None and len(scores.edge_orig_ids):
-                parts_ids.append(np.asarray(scores.edge_orig_ids, dtype=np.int64))
-                parts_vals.append(scores.edge_scores.data)
-        ids, vals = _concat_round(parts_ids, parts_vals)
-        edge_ids.append(ids)
-        edge_vals.append(vals)
-    return ShardScore(start, stop, node_sum, node_count, edge_ids, edge_vals, forwards)
+    evidence = score_target_span(
+        model, np.arange(start, stop, dtype=np.int64),
+        len(round_bases), batch_size,
+        offline_view_builder(model, graph, round_bases),
+        lambda round_index: {"mask_seed": int(mask_seeds[round_index])},
+    )
+    return _as_shard_score(evidence, start, stop)
 
 
 def _service_score_shard(task: tuple) -> ShardScore:
     """Score one shard of a service miss queue (runs in a worker).
 
-    Replays ``ScoringService._score_targets`` exactly: the shared
-    ``sample_target_views`` builds the per-``(seed, round, target)``
-    views and each forward call gets the fresh per-round stream, so
-    every score is bitwise what the in-process service would produce.
+    Runs ``ScoringService``'s own span scorer
+    (:func:`repro.serving.service.score_service_span`, minus the cache),
+    so every score is bitwise what the in-process service would produce.
     """
     graph_ref, model_ref, targets, seed, rounds, max_batch, fail = task
     if fail:
@@ -328,42 +307,9 @@ def _service_score_shard(task: tuple) -> ShardScore:
     graph = _ensure_graph(graph_ref)
     model = _ensure_model(model_ref)
     model.eval_mode()
-    from ..core.views import batch_graph_views, batch_hypergraph_views
-
-    width = len(targets)
-    node_sum = np.zeros(width)
-    node_count = np.zeros(width)
-    edge_ids: List[np.ndarray] = []
-    edge_vals: List[np.ndarray] = []
-    forwards = 0
-    for round_index in range(rounds):
-        parts_ids: List[np.ndarray] = []
-        parts_vals: List[np.ndarray] = []
-        for offset in range(0, width, max_batch):
-            upto = min(offset + max_batch, width)
-            chunk = targets[offset:upto]
-            views = serving_service.sample_target_views(
-                graph, chunk, round_index, seed, model.config
-            )
-            batched_g = batch_graph_views([pair[0] for pair in views])
-            batched_h = batch_hypergraph_views(
-                [pair[1] for pair in views], graph.num_features
-            )
-            scores = model.forward_batch(
-                batched_g,
-                batched_h,
-                rng=serving_service.forward_rng(seed, round_index),
-            )
-            forwards += 1
-            node_sum[offset:upto] += scores.node_scores.data
-            node_count[offset:upto] += 1
-            if scores.edge_scores is not None and len(scores.edge_orig_ids):
-                parts_ids.append(np.asarray(scores.edge_orig_ids, dtype=np.int64))
-                parts_vals.append(scores.edge_scores.data)
-        ids, vals = _concat_round(parts_ids, parts_vals)
-        edge_ids.append(ids)
-        edge_vals.append(vals)
-    return ShardScore(0, width, node_sum, node_count, edge_ids, edge_vals, forwards)
+    evidence = serving_service.score_service_span(
+        model, graph, targets, seed, rounds, max_batch)
+    return _as_shard_score(evidence, 0, len(targets))
 
 
 def _plan_shards(
@@ -434,7 +380,6 @@ def score_graph_sharded(
                 round_bases,
                 mask_seeds,
                 batch_size,
-                cfg.augment_at_inference,
                 shard_index == _fail_shard,
             )
             for shard_index, (start, stop) in enumerate(plan)
@@ -454,12 +399,7 @@ def score_graph_sharded(
         node_count[start:stop] = result.node_count
     # Replay edge evidence in serial order: rounds outermost, then
     # shards ascending — exactly the sequence the serial loop adds in.
-    for round_index in range(rounds):
-        for result in results:
-            ids = result.edge_ids[round_index]
-            if len(ids):
-                np.add.at(edge_sum, ids, result.edge_vals[round_index])
-                np.add.at(edge_count, ids, 1)
+    replay_edge_rounds(edge_sum, edge_count, rounds, results)
     return finalize_scores(node_sum, node_count, edge_sum, edge_count)
 
 
@@ -516,16 +456,6 @@ def service_refresh_scores(
 
     sums = np.concatenate([result.node_sum for result in results])
     scores = sums / service.rounds
-    edge_sums: Dict[int, float] = {}
-    edge_counts: Dict[int, int] = {}
-    for round_index in range(service.rounds):
-        for result in results:
-            ids = result.edge_ids[round_index]
-            vals = result.edge_vals[round_index]
-            for eid, value in zip(ids, vals):
-                eid = int(eid)
-                edge_sums[eid] = edge_sums.get(eid, 0.0) + float(value)
-                edge_counts[eid] = edge_counts.get(eid, 0) + 1
-    edge_means = {eid: total / edge_counts[eid] for eid, total in edge_sums.items()}
+    edge_means = mean_edge_rounds(service.rounds, results)
     forward_batches = sum(result.forward_batches for result in results)
     return scores, edge_means, forward_batches

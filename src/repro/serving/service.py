@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.model import Bourne
+from ..core.scoring import RoundEvidence, mean_edge_rounds, score_target_span
 from ..core.views import (
     batch_graph_views,
     batch_hypergraph_views,
@@ -104,6 +105,44 @@ def sample_target_views(graph_like, targets: np.ndarray, round_index: int,
             augment=config.augment_at_inference)
         views.append((graph_view, hyper_view))
     return views
+
+
+def batch_round_views(graph_like, chunk: np.ndarray, round_index: int,
+                      seed: int, config, num_features: int):
+    """Sample + batch one micro-batch's views (the uncached miss path).
+
+    Pure function of ``(topology, seed, round, chunk)``; used directly
+    by the sharded refresh workers and — through the subgraph cache —
+    by the in-process service, so both feed the shared span loop
+    identical inputs.
+    """
+    views = sample_target_views(graph_like, chunk, round_index, seed, config)
+    return (batch_graph_views([pair[0] for pair in views]),
+            batch_hypergraph_views([pair[1] for pair in views], num_features))
+
+
+def score_service_span(model: Bourne, graph_like, targets: np.ndarray,
+                       seed: int, rounds: int,
+                       max_batch: int) -> RoundEvidence:
+    """Uncached service-stream scoring of one target span.
+
+    Runs the same :func:`repro.core.scoring.score_target_span` loop as
+    ``ScoringService._score_targets`` with the same per-``(seed, round,
+    target)`` view streams and per-round forward streams — the sharded
+    refresh workers call this, which is what makes a sharded refresh
+    bitwise-identical to a serial one.
+    """
+    config = model.config
+    num_features = graph_like.num_features
+
+    def build(chunk: np.ndarray, round_index: int):
+        return batch_round_views(graph_like, chunk, round_index, seed,
+                                 config, num_features)
+
+    return score_target_span(
+        model, targets, rounds, max_batch, build,
+        lambda round_index: {"rng": forward_rng(seed, round_index)},
+    )
 
 
 class PendingScore:
@@ -189,12 +228,19 @@ class ScoringService:
 
         self._node_table: Dict[int, Tuple[float, int]] = {}
         self._edge_table: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        self._edge_scores: Dict[Tuple[int, int], Tuple[float, int]] = {}
         self._pending: Dict[int, PendingScore] = {}
         self._requests = 0
         self._flushes = 0
         self._forward_batches = 0
         self._nodes_scored = 0
         self._table_hits = 0
+        self._table_misses = 0
+        self._edge_requests = 0
+        self._edge_table_hits = 0
+        self._edge_imputations = 0
+        self._refreshes = 0
+        self._swaps = 0
 
     def _check_model(self, model: Bourne) -> None:
         cfg = model.config
@@ -261,6 +307,7 @@ class ScoringService:
             else:
                 stale.append(node)
         if stale:
+            self._table_misses += len(stale)
             targets = np.asarray(stale, dtype=np.int64)
             scores = self._score_targets(targets)
             for node, score in zip(stale, scores):
@@ -277,8 +324,8 @@ class ScoringService:
                     _force: bool = False) -> np.ndarray:
         """Score ``nodes`` in one micro-batched pass.
 
-        ``_force`` drops fresh table entries first so the forward passes
-        actually run (edge scoring needs the evidence they produce).
+        ``_force`` drops fresh table entries first so the forward
+        passes actually run even for already-tabled nodes.
         """
         handles = [self.enqueue(n) for n in nodes]
         if _force:
@@ -288,30 +335,41 @@ class ScoringService:
         return np.asarray([h.result() for h in handles])
 
     def score_edge(self, u: int, v: int) -> float:
-        """Score edge ``(u, v)`` from target-edge evidence.
+        """Score edge ``(u, v)`` from its endpoints' fresh evidence.
 
-        Evidence accumulates whenever an endpoint is scored; if the
-        sampler never realized the edge in any round (possible for
-        high-degree endpoints), the endpoint mean is returned instead,
-        matching the offline scorer's imputation of unsampled edges.
+        The score is the mean of the edge's contributions across one
+        forced scoring of *both endpoints together* — a pure function
+        of ``(u, v, store state, serving seed)``, never of request
+        history or batch layout.  That purity is what lets the gateway
+        coalesce concurrent ``score_edge`` requests freely: any
+        interleaving returns bitwise the sequential answer (the gateway
+        pin tests assert it).  Canonical values are cached
+        version-aware, so repeats are table hits until a nearby
+        mutation invalidates them.  If the sampler never realizes the
+        edge in any round (possible for high-degree endpoints), the
+        endpoint mean is imputed, matching the offline scorer's
+        treatment of unsampled edges.
         """
         key = (min(int(u), int(v)), max(int(u), int(v)))
         if not self.store.has_edge(*key):
             raise KeyError(f"edge {key} not in store")
+        self._edge_requests += 1
         needed = max(self.store.region_version(key[0]),
                      self.store.region_version(key[1]))
-        cached = self._edge_table.get(key)
+        cached = self._edge_scores.get(key)
         if cached is not None and cached[1] >= needed:
+            self._edge_table_hits += 1
             return cached[0]
-        endpoint_scores = self.score_nodes(
-            [key[0], key[1]], _force=True)
-        cached = self._edge_table.get(key)
-        if cached is not None and cached[1] >= needed:
-            return cached[0]
-        # Never sampled: impute from the endpoints.
-        score = float(endpoint_scores.mean())
-        self._edge_table[key] = (score, self.store.version)
-        return score
+        scores, means = self._score_span(np.asarray(key, dtype=np.int64))
+        version = self.store.version
+        for node, score in zip(key, scores):
+            self._node_table[int(node)] = (float(score), version)
+        mean = means.get(self.store.edge_id(*key))
+        if mean is None:
+            self._edge_imputations += 1
+            mean = float(scores.mean())
+        self._edge_scores[key] = (mean, version)
+        return mean
 
     # ------------------------------------------------------------------
     # Incremental refresh
@@ -333,6 +391,7 @@ class ScoringService:
         spinning processes up per refresh.
         """
         n = self.store.num_nodes
+        self._refreshes += 1
         stale = [node for node in range(n)
                  if (entry := self._node_table.get(node)) is None
                  or entry[1] < self.store.region_version(node)]
@@ -391,49 +450,49 @@ class ScoringService:
         model.eval_mode()
         self._node_table.clear()
         self._edge_table.clear()
+        self._edge_scores.clear()
+        self._swaps += 1
 
     # ------------------------------------------------------------------
     # Scoring internals
     # ------------------------------------------------------------------
     def _score_targets(self, targets: np.ndarray) -> np.ndarray:
-        """Mean score over ``rounds`` forward passes for ``targets``.
+        """Mean score over ``rounds`` forward passes for ``targets``."""
+        scores, _ = self._score_span(targets)
+        return scores
 
-        NOTE: ``repro.parallel.engine._service_score_shard`` mirrors
-        this loop (minus the cache); changes to the accumulation here
-        must be mirrored there — the sharded-refresh pin tests catch
-        drift.
+    def _score_span(self, targets: np.ndarray):
+        """Score ``targets`` and return ``(scores, edge_means)``.
+
+        Runs the shared :func:`repro.core.scoring.score_target_span`
+        loop — the same accumulation the offline scorer and the sharded
+        refresh workers run — with a view builder that answers from the
+        version-aware subgraph cache.  A fresh per-round stream feeds
+        every forward call: the ``node_only`` mask is its first draw,
+        so every micro-batch of a round applies the identical mask.
+        ``edge_means`` is THIS call's per-edge-id evidence (folded into
+        the evidence table as a side effect).
         """
-        sums = np.zeros(len(targets))
-        edge_sums: Dict[int, float] = {}
-        edge_counts: Dict[int, int] = {}
-        for round_index in range(self.rounds):
-            for start in range(0, len(targets), self.max_batch):
-                chunk = targets[start:start + self.max_batch]
-                entries = self._views_for_chunk(chunk, round_index)
-                graph_views = [entry.graph_view for entry in entries]
-                hyper_views = [entry.hyper_view for entry in entries]
-                batched_g = batch_graph_views(graph_views)
-                batched_h = batch_hypergraph_views(hyper_views,
-                                                   self.store.num_features)
-                # Fresh per-round stream for every forward call: the
-                # node_only mask is its first draw, so every micro-batch
-                # of a round applies the identical mask.
-                scores = self.model.forward_batch(
-                    batched_g, batched_h, rng=self._forward_rng(round_index))
-                self._forward_batches += 1
-                sums[start:start + len(chunk)] += scores.node_scores.data
-                if scores.edge_scores is not None and len(scores.edge_orig_ids):
-                    values = scores.edge_scores.data
-                    for eid, value in zip(scores.edge_orig_ids, values):
-                        eid = int(eid)
-                        edge_sums[eid] = edge_sums.get(eid, 0.0) + float(value)
-                        edge_counts[eid] = edge_counts.get(eid, 0) + 1
+        evidence = score_target_span(
+            self.model, targets, self.rounds, self.max_batch,
+            self._cached_round_views,
+            lambda round_index: {"rng": self._forward_rng(round_index)},
+        )
+        self._forward_batches += evidence.forward_batches
         version = self.store.version
-        for eid, total in edge_sums.items():
-            key = self.store.edge_key(eid)
-            self._edge_table[key] = (total / edge_counts[eid], version)
+        means = mean_edge_rounds(self.rounds, [evidence])
+        for eid, mean in means.items():
+            self._edge_table[self.store.edge_key(eid)] = (mean, version)
         self._nodes_scored += len(targets)
-        return sums / self.rounds
+        return evidence.node_sum / self.rounds, means
+
+    def _cached_round_views(self, chunk: np.ndarray, round_index: int):
+        """``build_views`` callback of the span loop: cache entries for
+        ``chunk`` batched into one forward's views."""
+        entries = self._views_for_chunk(chunk, round_index)
+        return (batch_graph_views([entry.graph_view for entry in entries]),
+                batch_hypergraph_views([entry.hyper_view for entry in entries],
+                                       self.store.num_features))
 
     def _views_for_chunk(self, chunk: np.ndarray, round_index: int) -> list:
         """Cache entries for ``chunk``; misses are sampled in ONE
@@ -464,14 +523,32 @@ class ScoringService:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Counters for monitoring and tests."""
+        """Counters for monitoring and tests.
+
+        ``table_hits``/``table_misses`` tally *request-path* score-table
+        answers vs. recomputations (refresh rescans and edge-endpoint
+        scorings count toward ``nodes_scored``, not misses);
+        ``cache_hits``/``cache_misses`` (from the subgraph LRU) tally
+        view reuse; ``pending`` is the current micro-batch queue depth.
+        The gateway's ``/metrics`` endpoint re-exports all of these in
+        Prometheus text format.
+        """
         stats = {
             "requests": self._requests,
+            "pending": len(self._pending),
             "flushes": self._flushes,
             "forward_batches": self._forward_batches,
             "nodes_scored": self._nodes_scored,
             "table_hits": self._table_hits,
+            "table_misses": self._table_misses,
             "table_size": len(self._node_table),
+            "edge_requests": self._edge_requests,
+            "edge_table_hits": self._edge_table_hits,
+            "edge_imputations": self._edge_imputations,
+            "edge_table_size": len(self._edge_scores),
+            "edge_evidence_size": len(self._edge_table),
+            "refreshes": self._refreshes,
+            "model_swaps": self._swaps,
             "store_version": self.store.version,
             "rounds": self.rounds,
         }

@@ -118,6 +118,92 @@ class TestServeCommand:
             main(["serve", "--registry", str(tmp_path), "--dataset", "cora",
                   "--input", os.devnull])
 
+    def test_malformed_json_reports_structured_error(self, tmp_path, capsys):
+        """A malformed line gets a structured error response (with
+        error_type), and the loop keeps serving subsequent requests."""
+        checkpoint = self._train_checkpoint(tmp_path, capsys)
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("{not json at all\n"
+                            + json.dumps({"op": "stats", "id": "after"}) + "\n")
+        code = main(["serve", "--model", checkpoint, "--dataset", "cora",
+                     "--scale", "0.08", "--rounds", "1",
+                     "--input", str(requests)])
+        assert code == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert lines[1]["ok"] is False
+        assert "invalid JSON" in lines[1]["error"]
+        assert lines[1]["error_type"] == "ValueError"
+        assert lines[2]["ok"] is True and lines[2]["id"] == "after"
+
+    def test_invalid_listen_rejected(self, tmp_path, capsys):
+        checkpoint = self._train_checkpoint(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["serve", "--model", checkpoint, "--dataset", "cora",
+                  "--scale", "0.08", "--listen", "nonsense"])
+
+
+class TestServeLoop:
+    """The request loop's robustness contract, tested in isolation."""
+
+    def _service(self, tmp_path):
+        import numpy as np
+
+        from repro.core import Bourne, BourneConfig
+        from repro.graph import Graph
+        from repro.serving import GraphStore, ScoringService
+
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(20, 4))
+        edges = np.array([[i, (i + 1) % 20] for i in range(20)])
+        model = Bourne(4, BourneConfig(hidden_dim=8, predictor_hidden=16,
+                                       subgraph_size=4, hop_size=2,
+                                       eval_rounds=1, seed=0))
+        store = GraphStore.from_graph(Graph(features, edges),
+                                      influence_radius=2)
+        return ScoringService(model, store, rounds=1)
+
+    def test_responses_flushed_per_line(self, tmp_path):
+        from repro.cli import _serve_loop
+
+        class CountingOut:
+            def __init__(self):
+                self.flushes = 0
+                self.lines = []
+
+            def write(self, text):
+                self.lines.append(text)
+
+            def flush(self):
+                self.flushes += 1
+
+        out = CountingOut()
+        source = [json.dumps({"op": "stats"}), "", json.dumps({"op": "stats"})]
+        assert _serve_loop(self._service(tmp_path), source, out) == 0
+        assert len(out.lines) == 2
+        assert out.flushes == 2  # one flush per response line
+
+    def test_broken_pipe_exits_cleanly(self, tmp_path):
+        from repro.cli import _serve_loop
+
+        class BrokenOut:
+            def __init__(self):
+                self.writes = 0
+
+            def write(self, text):
+                self.writes += 1
+                if self.writes > 1:
+                    raise BrokenPipeError("downstream went away")
+
+            def flush(self):
+                pass
+
+        out = BrokenOut()
+        source = [json.dumps({"op": "stats"})] * 5
+        # The loop must stop serving and return cleanly, not raise.
+        assert _serve_loop(self._service(tmp_path), source, out) == 0
+        assert out.writes == 2
+
 
 class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
