@@ -105,6 +105,37 @@ async def drive(host, port, registry_dir, model_v2):
     status, body = await http_request(host, port, "GET", "/metrics")
     check(status == 200 and "gateway_requests_total" in body
           and "gateway_batch_size_bucket" in body, "/metrics Prometheus text")
+    check("gateway_op_latency_seconds_score_bucket" in body
+          and "gateway_op_latency_seconds_add_edge_count" in body,
+          "/metrics per-op latency histograms")
+
+    print("request tracing...")
+    # A node no earlier check scored: cache miss, so the trace shows the
+    # full sampling + forward path rather than just the cache lookup.
+    status, body = await http_request(host, port, "GET", "/healthz")
+    fresh_node = json.loads(body)["num_nodes"] - 1
+    status, body = await http_request(host, port, "POST", "/v1/score_node",
+                                      {"node": fresh_node})
+    trace_id = json.loads(body).get("trace_id")
+    check(status == 200 and trace_id, "score response carries trace_id")
+    status, body = await http_request(host, port, "GET",
+                                      f"/v1/trace/{trace_id}")
+    tree = json.loads(body)
+    check(status == 200 and tree["ok"], "/v1/trace/<id> returns the trace")
+    names = set()
+    pending = list(tree["trace"]["roots"])
+    while pending:
+        node = pending.pop()
+        names.add(node["name"])
+        pending.extend(node.get("children", ()))
+    check({"gateway.score", "batcher.coalesce",
+           "scoring.forward"} <= names,
+          "span tree covers gateway -> batcher -> forward")
+    status, body = await http_request(host, port, "GET",
+                                      "/v1/traces?slow_ms=0&limit=5")
+    listing = json.loads(body)
+    check(status == 200 and listing["recorder"]["recorded"] > 0
+          and len(listing["traces"]) > 0, "/v1/traces lists retained traces")
 
     print("zero-downtime hot swap...")
     version = ModelRegistry(registry_dir).publish(model_v2, "smoke")

@@ -21,6 +21,12 @@ Commands
     Run one of the paper's table/figure experiments.
 ``datasets``
     List the registered benchmark datasets with their Table II sizes.
+``trace``
+    Observability: query a running gateway's flight recorder
+    (``--connect HOST:PORT`` with ``--id`` for one span tree or
+    ``--slow-ms`` to tail slow/errored requests), or ``--profile`` a
+    local train + score run under an installed recorder and print the
+    per-stage cost table.
 """
 
 from __future__ import annotations
@@ -116,6 +122,39 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds between registry checks for newly "
                             "published model versions to hot-swap "
                             "(with --registry; default: no watching)")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="disable request tracing (the flight recorder "
+                            "and /v1/trace endpoints; tracing is on by "
+                            "default and costs <5%% throughput)")
+    serve.add_argument("--trace-slow-ms", type=float, default=250.0,
+                       help="requests at least this slow (or errored) are "
+                            "retained in the recorder's slow ring beyond "
+                            "normal rotation")
+
+    trace = commands.add_parser(
+        "trace", help="inspect request traces (gateway or local profile)")
+    trace.add_argument("--connect", metavar="HOST:PORT", default=None,
+                       help="query a running gateway's flight recorder "
+                            "over HTTP")
+    trace.add_argument("--id", dest="trace_id", default=None,
+                       help="fetch one trace's span tree by id "
+                            "(with --connect)")
+    trace.add_argument("--slow-ms", type=float, default=None,
+                       help="list only traces at least this slow or "
+                            "errored (with --connect)")
+    trace.add_argument("--limit", type=int, default=20,
+                       help="max traces to list (with --connect)")
+    trace.add_argument("--profile", action="store_true",
+                       help="run a small train + score locally under a "
+                            "flight recorder and print the per-stage "
+                            "cost table")
+    _add_common(trace)
+    trace.add_argument("--epochs", type=int, default=1,
+                       help="training epochs for --profile")
+    trace.add_argument("--rounds", type=int, default=2,
+                       help="evaluation rounds for --profile scoring")
+    trace.add_argument("--json", action="store_true",
+                       help="emit raw JSON instead of rendered tables")
 
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="table2|table3|table4|table5|fig3..fig10|headline")
@@ -291,6 +330,8 @@ def _cmd_serve(args) -> int:
                 max_queue=args.max_queue, rate=args.rate_limit,
                 burst=args.burst, refresh_workers=args.workers,
                 poll_interval=args.poll_interval,
+                tracing=not args.no_trace,
+                trace_slow_ms=args.trace_slow_ms,
             ))
         except KeyboardInterrupt:
             pass  # asyncio.run cancelled the gateway; it drained on exit
@@ -306,6 +347,129 @@ def _cmd_serve(args) -> int:
     finally:
         if source is not sys.stdin:
             source.close()
+
+
+def _http_get_json(host: str, port: int, path: str) -> dict:
+    """One HTTP GET against a gateway; returns the decoded JSON body."""
+    import http.client
+    import json
+
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+    finally:
+        conn.close()
+    try:
+        payload = json.loads(body)
+    except ValueError:
+        raise SystemExit(f"non-JSON response from GET {path}: {body[:200]!r}")
+    if response.status != 200:
+        raise SystemExit(f"GET {path} -> {response.status}: "
+                         f"{payload.get('error', body[:200])}")
+    return payload
+
+
+def _render_span_node(node: dict, depth: int, out) -> None:
+    pad = "  " * depth
+    attrs = node.get("attrs") or {}
+    attr_text = ("  " + " ".join(f"{k}={v}" for k, v in attrs.items())
+                 if attrs else "")
+    flag = "" if node.get("status") == "ok" else f"  [{node.get('status')}]"
+    out.write(f"{pad}{node['name']:<32s} {node['duration_ms']:9.3f} ms"
+              f"  pid={node.get('pid')}{flag}{attr_text}\n")
+    for child in node.get("children", ()):
+        _render_span_node(child, depth + 1, out)
+
+
+def _render_stage_table(rows, out) -> None:
+    out.write(f"{'stage':<32s} {'calls':>6s} {'total_ms':>10s} "
+              f"{'mean_ms':>9s} {'max_ms':>9s} {'share':>6s}\n")
+    for row in rows:
+        out.write(f"{row['stage']:<32s} {row['calls']:>6d} "
+                  f"{row['total_ms']:>10.2f} {row['mean_ms']:>9.3f} "
+                  f"{row['max_ms']:>9.3f} {row['share']:>5.1%}\n")
+
+
+def _trace_connect(args) -> int:
+    import json
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
+    if args.trace_id:
+        payload = _http_get_json(host, int(port),
+                                 f"/v1/trace/{args.trace_id}")
+        if args.json:
+            print(json.dumps(payload["trace"], indent=2))
+            return 0
+        tree = payload["trace"]
+        print(f"trace {tree['trace_id']}  {tree['name']}  "
+              f"{tree['duration_ms']:.3f} ms  status={tree['status']}  "
+              f"spans={tree['num_spans']}")
+        for root in tree["roots"]:
+            _render_span_node(root, 1, sys.stdout)
+        return 0
+    query = f"limit={args.limit}"
+    if args.slow_ms is not None:
+        query += f"&slow_ms={args.slow_ms}"
+    payload = _http_get_json(host, int(port), f"/v1/traces?{query}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    stats = payload.get("recorder", {})
+    print(f"recorder: {stats.get('recorded', '?')} recorded, "
+          f"{stats.get('slow_recorded', '?')} slow/errored "
+          f"(slow_ms={stats.get('slow_ms', '?')})")
+    print(f"{'trace_id':<20s} {'name':<24s} {'duration_ms':>12s} "
+          f"{'spans':>6s} status")
+    for summary in payload["traces"]:
+        print(f"{summary['trace_id']:<20s} {str(summary['name']):<24s} "
+              f"{summary['duration_ms']:>12.3f} {summary['num_spans']:>6d} "
+              f"{summary['status']}")
+    return 0
+
+
+def _trace_profile(args) -> int:
+    import json
+
+    from .core import BourneConfig, score_graph, train_bourne
+    from .datasets import load_benchmark
+    from .eval import normalize_graph
+    from .obs import trace as obs_trace
+    from .obs.trace import FlightRecorder, stage_table
+
+    graph = normalize_graph(load_benchmark(args.dataset, seed=args.seed,
+                                           scale=args.scale))
+    print(f"profiling train({args.epochs} epochs) + "
+          f"score({args.rounds} rounds) on {graph}", file=sys.stderr)
+    config = BourneConfig(epochs=args.epochs, eval_rounds=args.rounds,
+                          seed=args.seed)
+    recorder = FlightRecorder(capacity=4096, slow_ms=float("inf"))
+    previous = obs_trace.install(recorder)
+    try:
+        model, _history = train_bourne(graph, config)
+        with obs_trace.trace("score.run") as root:
+            root.set(rounds=args.rounds)
+            score_graph(model, graph, rounds=args.rounds)
+    finally:
+        obs_trace.uninstall(previous)
+    rows = stage_table(recorder.traces())
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    _render_stage_table(rows, sys.stdout)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.connect:
+        return _trace_connect(args)
+    if args.profile:
+        return _trace_profile(args)
+    raise SystemExit("trace needs --connect HOST:PORT or --profile "
+                     "(see `repro trace -h`)")
 
 
 def _cmd_experiment(args) -> int:
@@ -340,6 +504,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "datasets": _cmd_datasets,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

@@ -18,6 +18,7 @@ from ..graph.sampling import (
     sample_enclosing_subgraph,
     sample_enclosing_subgraphs,
 )
+from ..obs import trace as obs_trace
 from ..optim.ema import ExponentialMovingAverage
 from ..tensor.autograd import Tensor, no_grad
 from ..utils.seed import rng_from_seed
@@ -140,13 +141,17 @@ class Bourne:
                 graph, targets, k=cfg.hop_size, size=cfg.subgraph_size,
                 target_seeds=target_seeds,
             )
-            return build_batched_views(
-                batch,
-                feature_mask_prob=cfg.feature_mask_prob,
-                incidence_drop_prob=cfg.incidence_drop_prob,
-                augment=augment,
-                target_seeds=target_seeds,
-            )
+            # Separate stage span so view construction/augmentation is
+            # attributable apart from the sampling span above.
+            with obs_trace.span("views.build_batched") as sp:
+                sp.set(batch=len(targets), augment=bool(augment))
+                return build_batched_views(
+                    batch,
+                    feature_mask_prob=cfg.feature_mask_prob,
+                    incidence_drop_prob=cfg.incidence_drop_prob,
+                    augment=augment,
+                    target_seeds=target_seeds,
+                )
         if sampler != "per_target":
             raise ValueError(f"unknown sampler {sampler!r}")
         graph_views, hyper_views = [], []

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..graph.graph import Graph
 from ..graph.index import derive_stream_seed, derive_target_seeds
+from ..obs import trace as obs_trace
 from ..utils.seed import rng_from_seed
 from .model import Bourne
 
@@ -172,9 +173,16 @@ def score_target_span(
         parts_vals: List[np.ndarray] = []
         for offset in range(0, width, batch_size):
             chunk = targets[offset:offset + batch_size]
-            gviews, hviews = build_views(chunk, round_index)
-            scores = model.forward_batch(gviews, hviews,
-                                         **forward_streams(round_index))
+            # Tracing stages, not draws: span ids are counter-based and
+            # the callbacks are untouched, so scores stay bitwise-equal
+            # with tracing on (the obs pin tests assert it).
+            with obs_trace.span("scoring.build_views") as sp:
+                sp.set(round=round_index, chunk=len(chunk))
+                gviews, hviews = build_views(chunk, round_index)
+            with obs_trace.span("scoring.forward") as sp:
+                sp.set(round=round_index, chunk=len(chunk))
+                scores = model.forward_batch(gviews, hviews,
+                                             **forward_streams(round_index))
             evidence.forward_batches += 1
             if scores.node_scores is not None:
                 evidence.node_sum[offset:offset + len(chunk)] += \

@@ -30,6 +30,7 @@ import numpy as np
 from ..graph.graph import Graph
 from ..graph.index import derive_stream_seed, derive_target_seeds
 from ..graph.sampling import count_target_edge_owners
+from ..obs import trace as obs_trace
 from ..optim.adam import Adam
 from ..utils.logging import get_logger
 from ..utils.seed import rng_from_seed
@@ -130,11 +131,14 @@ def train_chunk(model: Bourne, graph, targets: np.ndarray,
         param.grad = None
     gviews, hviews = model.prepare_batch(graph, targets, augment=True,
                                          target_seeds=target_seeds)
-    scores = model.forward_batch(gviews, hviews, mask_seed=mask_seed)
-    loss = model.chunk_loss(scores, node_scale, edge_scale)
+    with obs_trace.span("train.forward") as sp:
+        sp.set(chunk=len(targets))
+        scores = model.forward_batch(gviews, hviews, mask_seed=mask_seed)
+        loss = model.chunk_loss(scores, node_scale, edge_scale)
     if loss is None:
         return 0.0, [None] * len(params)
-    loss.backward()
+    with obs_trace.span("train.backward"):
+        loss.backward()
     grads = [param.grad for param in params]
     for param in params:
         param.grad = None
@@ -301,26 +305,34 @@ class BourneTrainer:
                         batch: np.ndarray, runner) -> float:
         """One chunked optimization step; returns the batch loss."""
         cfg = self.config
-        target_seeds, mask_seed = training_batch_streams(
-            cfg.seed, epoch, step, batch)
-        node_scale, edge_scale = self._loss_scales(graph, batch, target_seeds)
-        bounds = chunk_bounds(len(batch), self.grain)
-        if runner is None:
-            results = [
-                train_chunk(self.model, graph, batch[start:stop],
-                            target_seeds[start:stop], node_scale, edge_scale,
-                            mask_seed)
-                for start, stop in bounds
-            ]
-        else:
-            results = runner.run_step(batch, target_seeds, bounds,
-                                      node_scale, edge_scale, mask_seed)
-        loss_value, grads = merge_chunk_grads(results,
-                                              len(self.optimizer.params))
-        self.optimizer.step(grads)
-        self.model.update_target()
-        if runner is not None:
-            runner.publish()
+        with obs_trace.trace("train.step") as root:
+            root.set(epoch=epoch, step=step, batch=len(batch))
+            target_seeds, mask_seed = training_batch_streams(
+                cfg.seed, epoch, step, batch)
+            node_scale, edge_scale = self._loss_scales(
+                graph, batch, target_seeds)
+            bounds = chunk_bounds(len(batch), self.grain)
+            if runner is None:
+                results = [
+                    train_chunk(self.model, graph, batch[start:stop],
+                                target_seeds[start:stop], node_scale,
+                                edge_scale, mask_seed)
+                    for start, stop in bounds
+                ]
+            else:
+                with obs_trace.span("train.shard_fanout") as sp:
+                    sp.set(chunks=len(bounds))
+                    results = runner.run_step(batch, target_seeds, bounds,
+                                              node_scale, edge_scale,
+                                              mask_seed)
+            with obs_trace.span("train.optimize"):
+                loss_value, grads = merge_chunk_grads(
+                    results, len(self.optimizer.params))
+                self.optimizer.step(grads)
+                self.model.update_target()
+            if runner is not None:
+                with obs_trace.span("train.mailbox"):
+                    runner.publish()
         return loss_value
 
     def fit(self, graph: Graph, epochs: Optional[int] = None,

@@ -1,45 +1,16 @@
-"""Wall-clock and peak-memory profiling (Table V / Figure 6 substrate).
+"""Compat shim: profiling now lives in :mod:`repro.obs.profiling`.
 
-The paper reports GPU seconds and GPU memory on a 2080; here the same
-quantities are process wall-clock and ``tracemalloc`` peak allocations.
-Absolute values differ; the BOURNE-vs-contrastive *ratios* are the
-reproduced claim.
+The repo has exactly one timing utility — monotonic
+``time.perf_counter`` plus ``tracemalloc`` peaks — shared by the
+Table V / Figure 6 experiments, the benchmarks, and the tracing layer.
+Existing imports from ``repro.eval.profiling`` keep working through
+this re-export.
 """
 
-from __future__ import annotations
+from ..obs.profiling import (  # noqa: F401
+    ResourceUsage,
+    measure,
+    profile_call,
+)
 
-import time
-import tracemalloc
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable
-
-
-@dataclass
-class ResourceUsage:
-    """Measured cost of one profiled call."""
-
-    seconds: float
-    peak_mb: float
-
-
-@contextmanager
-def measure():
-    """Context manager yielding a mutable :class:`ResourceUsage`."""
-    usage = ResourceUsage(seconds=0.0, peak_mb=0.0)
-    tracemalloc.start()
-    start = time.perf_counter()
-    try:
-        yield usage
-    finally:
-        usage.seconds = time.perf_counter() - start
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-        usage.peak_mb = peak / (1024.0 * 1024.0)
-
-
-def profile_call(fn: Callable, *args, **kwargs):
-    """Run ``fn`` and return ``(result, ResourceUsage)``."""
-    with measure() as usage:
-        result = fn(*args, **kwargs)
-    return result, usage
+__all__ = ["ResourceUsage", "measure", "profile_call"]

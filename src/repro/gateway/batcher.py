@@ -23,21 +23,31 @@ batch is scoring runs *between* batches, never inside one.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Deque, List, Optional, Tuple
 
+from ..obs import trace as obs_trace
 from .metrics import BATCH_BUCKETS, MetricsRegistry
 
 
 @dataclass
 class _ScoreItem:
-    """One queued score request awaiting a batch."""
+    """One queued score request awaiting a batch.
+
+    ``ctx``/``enqueued`` carry the enqueuing request's trace span and
+    monotonic enqueue time so the scoring thread can record each item's
+    coalesce wait against *its own* trace (``ctx`` is ``None`` outside
+    a trace — the common untraced path stores a constant).
+    """
 
     kind: str                    # "node" | "edge"
     payload: Tuple[int, ...]     # (node,) or (u, v)
     future: "asyncio.Future[float]" = field(repr=False, default=None)
+    ctx: Optional[object] = field(repr=False, default=None)
+    enqueued: float = 0.0
 
 
 class MicroBatcher:
@@ -123,7 +133,17 @@ class MicroBatcher:
         if not self._started or self._stopping:
             raise RuntimeError("batcher is not accepting work")
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, fn, *args)
+        ctx = obs_trace.current_context()
+        if ctx is None:
+            return await loop.run_in_executor(self._executor, fn, *args)
+
+        def traced_call():
+            # contextvars don't cross run_in_executor: re-adopt the
+            # submitting request's span on the scoring thread.
+            with obs_trace.use_context(ctx):
+                return fn(*args)
+
+        return await loop.run_in_executor(self._executor, traced_call)
 
     async def swap_model(self, model) -> None:
         """Hot-swap the served model between batches."""
@@ -133,7 +153,9 @@ class MicroBatcher:
         if not self._started or self._stopping:
             raise RuntimeError("batcher is not accepting work")
         loop = asyncio.get_running_loop()
-        item = _ScoreItem(kind, payload, loop.create_future())
+        ctx = obs_trace.current_context()
+        item = _ScoreItem(kind, payload, loop.create_future(), ctx=ctx,
+                          enqueued=time.perf_counter() if ctx else 0.0)
         self._pending.append(item)
         self._wakeup.set()
         return item.future
@@ -193,7 +215,38 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def _score_batch(self, batch: List[_ScoreItem]) -> List[tuple]:
         """Score one coalesced batch; per-item errors never poison the
-        rest of the batch (an out-of-range node fails alone)."""
+        rest of the batch (an out-of-range node fails alone).
+
+        Tracing: each traced item gets a ``batcher.coalesce`` span (its
+        wait from enqueue to dispatch) on its own trace.  The batch
+        itself executes under the *first* traced item's span — a solo
+        request therefore sees the full scoring subtree — while the
+        other participants get a ``batcher.shared_batch`` marker naming
+        the lead trace that carries the shared work.
+        """
+        traced = [item for item in batch if item.ctx is not None]
+        if traced:
+            now = time.perf_counter()
+            for item in traced:
+                obs_trace.record_span(
+                    item.ctx, "batcher.coalesce", item.enqueued,
+                    now - item.enqueued, kind=item.kind,
+                    batch_size=len(batch))
+            lead = traced[0]
+            for item in traced[1:]:
+                if item.ctx.trace is lead.ctx.trace:
+                    continue  # same request: it owns the batch subtree
+                obs_trace.record_span(
+                    item.ctx, "batcher.shared_batch", now, 0.0,
+                    lead_trace=lead.ctx.trace.trace_id,
+                    batch_size=len(batch))
+            with obs_trace.use_context(lead.ctx):
+                with obs_trace.span("batcher.batch") as sp:
+                    sp.set(batch_size=len(batch), traced=len(traced))
+                    return self._score_batch_items(batch)
+        return self._score_batch_items(batch)
+
+    def _score_batch_items(self, batch: List[_ScoreItem]) -> List[tuple]:
         service = self.service
         results: List[tuple] = []
         node_items: List[_ScoreItem] = []

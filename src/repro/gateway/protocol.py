@@ -25,6 +25,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import trace as obs_trace
+
 #: Exception types a request handler converts into an error response.
 #: RuntimeError/OSError cover sharded-refresh failures (worker crash,
 #: shared-memory exhaustion).
@@ -82,6 +84,12 @@ def dispatch_request(service, request: dict,
         raise ValueError(
             f"request must be a JSON object, got {type(request).__name__}")
     op = request.get("op")
+    with obs_trace.span(f"protocol.{op}"):
+        return _dispatch_op(service, request, op, refresh_workers)
+
+
+def _dispatch_op(service, request: dict, op,
+                 refresh_workers: Optional[int]) -> dict:
     store = service.store
     if op == "score":
         nodes = [int(n) for n in request["nodes"]]

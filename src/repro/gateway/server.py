@@ -25,8 +25,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from typing import Optional, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.trace import FlightRecorder, span_tree
+from ..utils.logging import get_logger, log_event
 from .admission import DRAINING, AdmissionController
 from .batcher import MicroBatcher
 from .metrics import LATENCY_BUCKETS, MetricsRegistry
@@ -39,6 +44,8 @@ from .protocol import (
     parse_request,
 )
 
+LOGGER = get_logger("repro.gateway", json_format=True)
+
 #: HTTP status by admission rejection reason.
 _SHED_STATUS = {DRAINING: 503}
 _MAX_LINE = 1 << 20  # 1 MiB: update_features bodies on wide graphs
@@ -49,6 +56,12 @@ _HTTP_METHODS = (b"GET ", b"POST ", b"PUT ", b"DELETE ", b"HEAD ",
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 429: "Too Many Requests",
             500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: Ops that get their own latency histogram on ``/metrics``; anything
+#: else (including unknown ops) lands in the ``other`` series so a
+#: misbehaving client cannot mint unbounded metric names.
+_KNOWN_OPS = frozenset({"score", "score_edge", "add_node", "add_edge",
+                        "update_features", "refresh", "stats", "reload"})
 
 
 class Gateway:
@@ -71,6 +84,15 @@ class Gateway:
     poll_interval:
         Seconds between registry version checks; ``None`` disables the
         watcher (``/v1/reload`` still works).
+    tracing / trace_slow_ms / recorder:
+        Request tracing: every admitted request runs under a
+        ``gateway.<op>`` trace recorded into a
+        :class:`~repro.obs.trace.FlightRecorder` (installed process-wide
+        for the gateway's lifetime) and served back through
+        ``GET /v1/trace/<id>`` / ``GET /v1/traces``.  ``trace_slow_ms``
+        sets the recorder's slow-retention threshold; pass an existing
+        ``recorder`` to share one, or ``tracing=False`` to turn the
+        whole layer into no-ops.
     """
 
     def __init__(self, service, registry=None, model_name: Optional[str] = None,
@@ -80,7 +102,10 @@ class Gateway:
                  refresh_workers: Optional[int] = None,
                  poll_interval: Optional[float] = None,
                  model_version: Optional[int] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracing: bool = True,
+                 trace_slow_ms: float = 250.0,
+                 recorder: Optional[FlightRecorder] = None):
         self.service = service
         self.registry = registry
         self.model_name = model_name
@@ -93,6 +118,14 @@ class Gateway:
         self.admission = AdmissionController(max_queue=max_queue,
                                              rate=rate, burst=burst)
         self.served_version = model_version
+        if recorder is not None:
+            self.recorder: Optional[FlightRecorder] = recorder
+        elif tracing:
+            self.recorder = FlightRecorder(slow_ms=trace_slow_ms)
+        else:
+            self.recorder = None
+        self._prev_recorder: Optional[FlightRecorder] = None
+        self._op_latency = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._watcher: Optional[asyncio.Task] = None
         self._requests_total = self.metrics.counter(
@@ -121,6 +154,8 @@ class Gateway:
                     port: int = 0) -> Tuple[str, int]:
         """Start the batcher, the TCP server, and (optionally) the
         registry watcher; returns the bound ``(host, port)``."""
+        if self.recorder is not None:
+            self._prev_recorder = obs_trace.install(self.recorder)
         await self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, host, port, limit=_MAX_LINE)
@@ -148,6 +183,9 @@ class Gateway:
         self.admission.begin_drain()
         drained = await self.admission.wait_drained(drain_timeout)
         await self.batcher.stop()
+        if self.recorder is not None:
+            obs_trace.uninstall(self._prev_recorder)
+            self._prev_recorder = None
         return drained
 
     async def serve_forever(self) -> None:
@@ -163,6 +201,7 @@ class Gateway:
         self._connections.inc()
         peer = writer.get_extra_info("peername")
         client = f"{peer[0]}:{peer[1]}" if peer else "unknown"
+        log_event(LOGGER, logging.DEBUG, "connection open", client=client)
         try:
             first = await reader.readline()
             if not first:
@@ -174,9 +213,15 @@ class Gateway:
         # ValueError covers StreamReader.readline on an over-limit line
         # (it converts LimitOverrunError): drop the connection cleanly —
         # the stream cannot be resynced past a truncated request.
-        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
-            pass  # client went away or sent garbage; nothing to answer
+        except (ConnectionError, asyncio.IncompleteReadError,
+                ValueError) as error:
+            # client went away or sent garbage; nothing to answer
+            log_event(LOGGER, logging.DEBUG, "connection dropped",
+                      client=client, error=str(error),
+                      error_type=type(error).__name__)
         finally:
+            log_event(LOGGER, logging.DEBUG, "connection closed",
+                      client=client)
             self.admission.forget_client(client)
             writer.close()
             try:
@@ -209,8 +254,24 @@ class Gateway:
     # ------------------------------------------------------------------
     # Request dispatch (shared by both transports)
     # ------------------------------------------------------------------
+    def _op_hist(self, op_name: str):
+        """The per-op latency histogram (created on first use)."""
+        hist = self._op_latency.get(op_name)
+        if hist is None:
+            hist = self.metrics.histogram(
+                f"gateway_op_latency_seconds_{op_name}",
+                f"latency of {op_name} requests", LATENCY_BUCKETS)
+            self._op_latency[op_name] = hist
+        return hist
+
     async def dispatch(self, request: dict, client: str) -> dict:
-        """Admit, route, and time one parsed request."""
+        """Admit, route, trace, and time one parsed request.
+
+        Admitted requests run under a ``gateway.<op>`` root trace (shed
+        requests stay untraced — rejection must stay allocation-cheap)
+        and the response carries its ``trace_id`` so clients can fetch
+        the span tree from ``GET /v1/trace/<id>``.
+        """
         self._requests_total.inc()
         reason = self.admission.admit(client)
         if reason is not None:
@@ -219,16 +280,31 @@ class Gateway:
                 {"ok": False, "error": f"request rejected: {reason}",
                  "reason": reason, "code": _SHED_STATUS.get(reason, 429)},
                 request)
+        op = request.get("op")
+        op_name = op if isinstance(op, str) and op in _KNOWN_OPS else "other"
         loop = asyncio.get_running_loop()
         started = loop.time()
+        trace_id = None
         try:
-            response = await self._route_op(request)
+            with obs_trace.trace(f"gateway.{op_name}") as root:
+                root.set(op=str(op), client=client)
+                buffer = root.trace
+                if buffer is not None:
+                    trace_id = buffer.trace_id
+                response = await self._route_op(request)
         except REQUEST_ERRORS as error:
             self._errors_total.inc()
+            log_event(LOGGER, logging.WARNING, "request failed",
+                      op=str(op), client=client,
+                      error=str(error), error_type=type(error).__name__)
             response = error_response(error, request)
         finally:
             self.admission.release()
-            self._latency.observe(loop.time() - started)
+            elapsed = loop.time() - started
+            self._latency.observe(elapsed)
+            self._op_hist(op_name).observe(elapsed)
+        if trace_id is not None:
+            response.setdefault("trace_id", trace_id)
         return attach_request_id(response, request)
 
     async def _route_op(self, request: dict) -> dict:
@@ -296,10 +372,13 @@ class Gateway:
                     await self.reload(latest)
             except asyncio.CancelledError:
                 raise
-            except Exception:
+            except Exception as error:
                 # Registry hiccups (partial publish, fs errors) must
                 # not kill the watcher; next poll retries.
                 self._errors_total.inc()
+                log_event(LOGGER, logging.WARNING, "registry watch failed",
+                          model=self.model_name, error=str(error),
+                          error_type=type(error).__name__)
 
     # ------------------------------------------------------------------
     # HTTP transport
@@ -350,7 +429,7 @@ class Gateway:
     async def _http_route(self, method: str, path: str, body: bytes,
                           client: str):
         """Route one HTTP request to the shared dispatcher."""
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if method == "GET":
             if path == "/healthz":
                 return 200, {"ok": True,
@@ -364,6 +443,10 @@ class Gateway:
             if path == "/v1/stats":
                 response = await self.dispatch({"op": "stats"}, client)
                 return (200 if response.get("ok") else 500), response, None
+            if path.startswith("/v1/trace/"):
+                return self._trace_route(path[len("/v1/trace/"):])
+            if path == "/v1/traces":
+                return self._traces_route(query)
             return 404, {"ok": False, "error": f"no route GET {path}"}, None
         if method != "POST":
             return 405, {"ok": False,
@@ -396,6 +479,43 @@ class Gateway:
             return 200, response, None
         return response.get("code", 400), response, None
 
+    def _trace_route(self, trace_id: str):
+        """``GET /v1/trace/<id>`` — one retained trace as a span tree."""
+        if self.recorder is None:
+            return 404, {"ok": False, "error": "tracing disabled"}, None
+        record = self.recorder.get(trace_id)
+        if record is None:
+            return 404, {"ok": False,
+                         "error": f"trace {trace_id!r} not retained"}, None
+        return 200, {"ok": True, "trace": span_tree(record)}, None
+
+    def _traces_route(self, query: str):
+        """``GET /v1/traces[?slow_ms=&limit=]`` — retained-trace summaries."""
+        if self.recorder is None:
+            return 404, {"ok": False, "error": "tracing disabled"}, None
+        slow_ms = None
+        limit = 50
+        for part in query.split("&"):
+            key, _, value = part.partition("=")
+            if not value:
+                continue
+            try:
+                if key == "slow_ms":
+                    slow_ms = float(value)
+                elif key == "limit":
+                    limit = int(value)
+            except ValueError:
+                return 400, {"ok": False,
+                             "error": f"bad query parameter {part!r}"}, None
+        summaries = [
+            {"trace_id": t["trace_id"], "name": t.get("name"),
+             "duration_ms": t.get("duration_ms"), "status": t.get("status"),
+             "ts": t.get("ts"), "num_spans": len(t.get("spans", []))}
+            for t in self.recorder.traces(slow_ms=slow_ms, limit=limit)
+        ]
+        return 200, {"ok": True, "traces": summaries,
+                     "recorder": self.recorder.stats()}, None
+
     async def render_metrics(self) -> str:
         """Prometheus text: gateway metrics + the service's counters
         (fetched on the scoring thread, so reads never race a batch)."""
@@ -412,7 +532,17 @@ class Gateway:
             "service_cache_hit_rate",
             "subgraph cache hits / lookups").set(
                 hits / (hits + misses) if hits + misses else 0.0)
-        return self.metrics.render()
+        text = self.metrics.render()
+        # Fold in process-wide metrics other layers registered into the
+        # global registry (gateway-owned names win on collision).
+        global_registry = obs_metrics.get_registry()
+        extra = [line
+                 for name in global_registry.names()
+                 if self.metrics.get(name) is None
+                 for line in global_registry.get(name).render()]
+        if extra:
+            text += "\n".join(extra) + "\n"
+        return text
 
     async def _write_http(self, writer, status: int, payload,
                           content_type: Optional[str] = None,

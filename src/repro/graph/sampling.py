@@ -33,6 +33,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from .graph import Graph
 from .index import GraphIndex, index_of, seeded_uniform
 
@@ -548,10 +549,14 @@ def sample_enclosing_subgraphs(
             num_target_edges=np.zeros(0, dtype=np.int64),
         )
 
-    chosen = _choose_context_slots(index, targets, target_seeds, k, size)
-    slot_nodes = np.concatenate([targets[:, None], chosen], axis=1)
-    edges, edge_orig_ids, edge_offsets, num_target = induce_slot_edges(
-        index, slot_nodes)
+    # The span times stages only — all sampling randomness stays in the
+    # counter-based seeded_uniform streams, untouched by tracing.
+    with obs_trace.span("sampling.enclosing_subgraphs") as sp:
+        sp.set(batch=batch, k=int(k), size=int(size))
+        chosen = _choose_context_slots(index, targets, target_seeds, k, size)
+        slot_nodes = np.concatenate([targets[:, None], chosen], axis=1)
+        edges, edge_orig_ids, edge_offsets, num_target = induce_slot_edges(
+            index, slot_nodes)
     node_ids = slot_nodes.reshape(-1)
     return SampledSubgraphBatch(
         targets=targets,

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -46,6 +46,7 @@ from ..core.scoring import (
     score_target_span,
 )
 from ..graph.index import index_of
+from ..obs import trace as obs_trace
 from ..serving import service as serving_service
 from .planner import ContiguousShardPlanner, ShardPlanner, validate_plan
 from .shm import (
@@ -250,13 +251,21 @@ class ShardScore(RoundEvidence):
     Both worker kinds run the *same* ``score_target_span`` loop the
     serial scorer and the in-process service run — bitwise equivalence
     is structural, not mirrored code.
+
+    ``spans`` carries the worker's exported trace records when the
+    submitting parent was inside a live trace (the ``want_spans`` task
+    flag); the parent re-parents them with
+    :func:`repro.obs.trace.adopt_spans` so ``workers > 1`` refreshes
+    still produce one request tree spanning both processes.
     """
 
     start: int = 0
     stop: int = 0
+    spans: List[dict] = field(default_factory=list)
 
 
-def _as_shard_score(evidence: RoundEvidence, start: int, stop: int) -> ShardScore:
+def _as_shard_score(evidence: RoundEvidence, start: int, stop: int,
+                    spans: Optional[List[dict]] = None) -> ShardScore:
     return ShardScore(
         node_sum=evidence.node_sum,
         node_count=evidence.node_count,
@@ -265,6 +274,7 @@ def _as_shard_score(evidence: RoundEvidence, start: int, stop: int) -> ShardScor
         forward_batches=evidence.forward_batches,
         start=start,
         stop=stop,
+        spans=spans if spans is not None else [],
     )
 
 
@@ -278,19 +288,30 @@ def _score_shard(task: tuple) -> ShardScore:
     batch-invariant pipeline makes unobservable.
     """
     graph_ref, model_ref, rest = task[0], task[1], task[2:]
-    start, stop, round_bases, mask_seeds, batch_size, fail = rest
+    start, stop, round_bases, mask_seeds, batch_size, fail, want_spans = rest
     if fail:
         raise RuntimeError(f"injected failure in shard "
                            f"[{start}, {stop})")
     graph = _ensure_graph(graph_ref)
     model = _ensure_model(model_ref)
     model.eval_mode()
-    evidence = score_target_span(
-        model, np.arange(start, stop, dtype=np.int64),
-        len(round_bases), batch_size,
-        offline_view_builder(model, graph, round_bases),
-        lambda round_index: {"mask_seed": int(mask_seeds[round_index])},
-    )
+
+    def run() -> RoundEvidence:
+        return score_target_span(
+            model, np.arange(start, stop, dtype=np.int64),
+            len(round_bases), batch_size,
+            offline_view_builder(model, graph, round_bases),
+            lambda round_index: {"mask_seed": int(mask_seeds[round_index])},
+        )
+
+    if want_spans:
+        with obs_trace.capture_spans("parallel.score_shard",
+                                     start=int(start),
+                                     stop=int(stop)) as shipped:
+            evidence = run()
+        return _as_shard_score(evidence, start, stop, spans=shipped)
+    with obs_trace.clear_context():
+        evidence = run()
     return _as_shard_score(evidence, start, stop)
 
 
@@ -301,14 +322,22 @@ def _service_score_shard(task: tuple) -> ShardScore:
     (:func:`repro.serving.service.score_service_span`, minus the cache),
     so every score is bitwise what the in-process service would produce.
     """
-    graph_ref, model_ref, targets, seed, rounds, max_batch, fail = task
+    (graph_ref, model_ref, targets, seed, rounds, max_batch, fail,
+     want_spans) = task
     if fail:
         raise RuntimeError("injected failure in service shard")
     graph = _ensure_graph(graph_ref)
     model = _ensure_model(model_ref)
     model.eval_mode()
-    evidence = serving_service.score_service_span(
-        model, graph, targets, seed, rounds, max_batch)
+    if want_spans:
+        with obs_trace.capture_spans("parallel.refresh_shard",
+                                     targets=len(targets)) as shipped:
+            evidence = serving_service.score_service_span(
+                model, graph, targets, seed, rounds, max_batch)
+        return _as_shard_score(evidence, 0, len(targets), spans=shipped)
+    with obs_trace.clear_context():
+        evidence = serving_service.score_service_span(
+            model, graph, targets, seed, rounds, max_batch)
     return _as_shard_score(evidence, 0, len(targets))
 
 
@@ -368,23 +397,29 @@ def score_graph_sharded(
 
     own_pool = pool is None
     pool = pool if pool is not None else WorkerPool(workers, start_method)
+    want_spans = obs_trace.active()
     try:
-        graph_ref = pool.bind_graph(graph.features, index)
-        model_ref = pool.publish_model(model)
-        tasks = [
-            (
-                graph_ref,
-                model_ref,
-                start,
-                stop,
-                round_bases,
-                mask_seeds,
-                batch_size,
-                shard_index == _fail_shard,
-            )
-            for shard_index, (start, stop) in enumerate(plan)
-        ]
-        results = pool.run(_score_shard, tasks, label="sharded scoring")
+        with obs_trace.span("parallel.scoring") as sp:
+            sp.set(shards=len(plan), workers=pool.workers)
+            graph_ref = pool.bind_graph(graph.features, index)
+            model_ref = pool.publish_model(model)
+            tasks = [
+                (
+                    graph_ref,
+                    model_ref,
+                    start,
+                    stop,
+                    round_bases,
+                    mask_seeds,
+                    batch_size,
+                    shard_index == _fail_shard,
+                    want_spans,
+                )
+                for shard_index, (start, stop) in enumerate(plan)
+            ]
+            results = pool.run(_score_shard, tasks, label="sharded scoring")
+            for result in results:
+                obs_trace.adopt_spans(result.spans)
     finally:
         if own_pool:
             pool.close()
@@ -433,23 +468,30 @@ def service_refresh_scores(
 
     own_pool = pool is None
     pool = pool if pool is not None else WorkerPool(workers, start_method)
+    want_spans = obs_trace.active()
     try:
-        graph_ref = pool.bind_graph(store.features, index)
-        model_ref = pool.publish_model(service.model)
-        tasks = [
-            (
-                graph_ref,
-                model_ref,
-                targets[start:stop],
-                service.seed,
-                service.rounds,
-                service.max_batch,
-                shard_index == _fail_shard,
-            )
-            for shard_index, (start, stop) in enumerate(plan)
-        ]
-        results = pool.run(_service_score_shard, tasks,
-                           label="sharded refresh")
+        with obs_trace.span("parallel.refresh") as sp:
+            sp.set(shards=len(plan), workers=pool.workers,
+                   targets=len(targets))
+            graph_ref = pool.bind_graph(store.features, index)
+            model_ref = pool.publish_model(service.model)
+            tasks = [
+                (
+                    graph_ref,
+                    model_ref,
+                    targets[start:stop],
+                    service.seed,
+                    service.rounds,
+                    service.max_batch,
+                    shard_index == _fail_shard,
+                    want_spans,
+                )
+                for shard_index, (start, stop) in enumerate(plan)
+            ]
+            results = pool.run(_service_score_shard, tasks,
+                               label="sharded refresh")
+            for result in results:
+                obs_trace.adopt_spans(result.spans)
     finally:
         if own_pool:
             pool.close()

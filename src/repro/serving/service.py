@@ -42,6 +42,7 @@ from ..core.views import (
 from ..graph.graph import Graph
 from ..graph.index import derive_stream_seed, derive_target_seeds
 from ..graph.sampling import sample_enclosing_subgraphs
+from ..obs import trace as obs_trace
 from .cache import SubgraphCache
 from .store import GraphStore
 
@@ -94,16 +95,18 @@ def sample_target_views(graph_like, targets: np.ndarray, round_index: int,
     sampled = sample_enclosing_subgraphs(
         graph_like, targets, k=config.hop_size,
         size=config.subgraph_size, target_seeds=seeds)
-    views = []
-    for i, target in enumerate(targets):
-        sub = sampled.view(i)
-        graph_view = build_graph_view(sub)
-        hyper_view = build_hypergraph_view(
-            sub, view_rng(seed, int(target), round_index),
-            feature_mask_prob=config.feature_mask_prob,
-            incidence_drop_prob=config.incidence_drop_prob,
-            augment=config.augment_at_inference)
-        views.append((graph_view, hyper_view))
+    with obs_trace.span("views.build_per_target") as sp:
+        sp.set(targets=len(targets), round=round_index)
+        views = []
+        for i, target in enumerate(targets):
+            sub = sampled.view(i)
+            graph_view = build_graph_view(sub)
+            hyper_view = build_hypergraph_view(
+                sub, view_rng(seed, int(target), round_index),
+                feature_mask_prob=config.feature_mask_prob,
+                incidence_drop_prob=config.incidence_drop_prob,
+                augment=config.augment_at_inference)
+            views.append((graph_view, hyper_view))
     return views
 
 
@@ -360,7 +363,9 @@ class ScoringService:
         if cached is not None and cached[1] >= needed:
             self._edge_table_hits += 1
             return cached[0]
-        scores, means = self._score_span(np.asarray(key, dtype=np.int64))
+        with obs_trace.span("service.score_edge") as sp:
+            sp.set(u=key[0], v=key[1])
+            scores, means = self._score_span(np.asarray(key, dtype=np.int64))
         version = self.store.version
         for node, score in zip(key, scores):
             self._node_table[int(node)] = (float(score), version)
@@ -392,18 +397,21 @@ class ScoringService:
         """
         n = self.store.num_nodes
         self._refreshes += 1
-        stale = [node for node in range(n)
-                 if (entry := self._node_table.get(node)) is None
-                 or entry[1] < self.store.region_version(node)]
-        if stale and workers is not None and workers > 1:
-            self._refresh_sharded(np.asarray(stale, dtype=np.int64),
-                                  workers, shards, pool)
-        elif stale:
-            targets = np.asarray(stale, dtype=np.int64)
-            scores = self._score_targets(targets)
-            version = self.store.version
-            for node, score in zip(stale, scores):
-                self._node_table[node] = (float(score), version)
+        with obs_trace.span("service.refresh") as sp:
+            stale = [node for node in range(n)
+                     if (entry := self._node_table.get(node)) is None
+                     or entry[1] < self.store.region_version(node)]
+            sp.set(stale=len(stale), num_nodes=n,
+                   workers=workers if workers is not None else 1)
+            if stale and workers is not None and workers > 1:
+                self._refresh_sharded(np.asarray(stale, dtype=np.int64),
+                                      workers, shards, pool)
+            elif stale:
+                targets = np.asarray(stale, dtype=np.int64)
+                scores = self._score_targets(targets)
+                version = self.store.version
+                for node, score in zip(stale, scores):
+                    self._node_table[node] = (float(score), version)
         table = np.asarray([self._node_table[node][0] for node in range(n)])
         return RefreshResult(scores=table,
                              rescored=np.asarray(stale, dtype=np.int64),
@@ -473,11 +481,13 @@ class ScoringService:
         ``edge_means`` is THIS call's per-edge-id evidence (folded into
         the evidence table as a side effect).
         """
-        evidence = score_target_span(
-            self.model, targets, self.rounds, self.max_batch,
-            self._cached_round_views,
-            lambda round_index: {"rng": self._forward_rng(round_index)},
-        )
+        with obs_trace.span("service.score_span") as sp:
+            sp.set(targets=len(targets), rounds=self.rounds)
+            evidence = score_target_span(
+                self.model, targets, self.rounds, self.max_batch,
+                self._cached_round_views,
+                lambda round_index: {"rng": self._forward_rng(round_index)},
+            )
         self._forward_batches += evidence.forward_batches
         version = self.store.version
         means = mean_edge_rounds(self.rounds, [evidence])
@@ -499,24 +509,30 @@ class ScoringService:
         vectorized batch call (no per-target sampling loop), then built
         into per-target views so the version-aware LRU keeps serving
         hits at ``(target, round)`` granularity."""
-        entries: Dict[int, object] = {}
-        misses: List[int] = []
-        for target in chunk:
-            target = int(target)
-            entry = self.cache.get((target, round_index),
-                                   self.store.region_version(target))
-            if entry is None:
-                misses.append(target)
-            else:
-                entries[target] = entry
+        with obs_trace.span("service.cache_lookup") as sp:
+            entries: Dict[int, object] = {}
+            misses: List[int] = []
+            for target in chunk:
+                target = int(target)
+                entry = self.cache.get((target, round_index),
+                                       self.store.region_version(target))
+                if entry is None:
+                    misses.append(target)
+                else:
+                    entries[target] = entry
+            sp.set(chunk=len(chunk), hits=len(chunk) - len(misses),
+                   misses=len(misses), round=round_index)
         if misses:
-            miss_targets = np.asarray(misses, dtype=np.int64)
-            built = sample_target_views(self.store, miss_targets, round_index,
-                                        self.seed, self.model.config)
-            version = self.store.version
-            for target, (graph_view, hyper_view) in zip(misses, built):
-                entries[target] = self.cache.put(
-                    (target, round_index), graph_view, hyper_view, version)
+            with obs_trace.span("service.cache_miss_sample") as sp:
+                sp.set(misses=len(misses), round=round_index)
+                miss_targets = np.asarray(misses, dtype=np.int64)
+                built = sample_target_views(self.store, miss_targets,
+                                            round_index, self.seed,
+                                            self.model.config)
+                version = self.store.version
+                for target, (graph_view, hyper_view) in zip(misses, built):
+                    entries[target] = self.cache.put(
+                        (target, round_index), graph_view, hyper_view, version)
         return [entries[int(target)] for target in chunk]
 
     # ------------------------------------------------------------------

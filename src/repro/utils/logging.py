@@ -1,18 +1,119 @@
-"""Lightweight logging setup shared by trainers and experiment runners."""
+"""Structured logging shared by trainers, experiment runners, gateway.
+
+Two formats behind one :func:`get_logger`:
+
+* **plain** (default) — the historical ``asctime name level message``
+  single line, for humans watching a terminal.
+* **json** — one JSON object per line carrying ``ts``/``level``/
+  ``logger``/``msg``, any ``extra={...}`` fields, and — when the call
+  happens inside an active trace — the ``trace_id``/``span_id`` of the
+  current span, so gateway logs correlate with ``GET /v1/trace/<id>``
+  output.  The gateway's connection/error logs use this format.
+
+``REPRO_LOG_FORMAT=json|plain`` overrides the per-call default
+process-wide (useful to force JSON out of every logger under a log
+collector, or plain text while debugging the gateway locally).
+"""
 
 from __future__ import annotations
 
+import json
 import logging
+import os
 import sys
+import time
+from typing import Optional
+
+#: LogRecord attributes that are plumbing, not user-supplied ``extra``.
+_RESERVED = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None).__dict__) | {"message", "asctime",
+                                             "taskName"}
 
 
-def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
-    """Return a configured logger (idempotent per name)."""
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, trace-correlated when inside a span."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        ids = _current_trace_ids()
+        if ids is not None:
+            payload["trace_id"], payload["span_id"] = ids
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def _current_trace_ids() -> Optional[tuple]:
+    """``(trace_id, span_id)`` of the caller's active span, if any.
+
+    Imported lazily so ``utils`` stays importable without ``obs`` (and
+    so a broken tracing layer can never take logging down with it).
+    """
+    try:
+        from ..obs.trace import current_ids
+    except ImportError:
+        return None
+    return current_ids()
+
+
+def _want_json(json_format: Optional[bool]) -> bool:
+    forced = os.environ.get("REPRO_LOG_FORMAT", "").strip().lower()
+    if forced == "json":
+        return True
+    if forced == "plain":
+        return False
+    return bool(json_format)
+
+
+def get_logger(name: str, level: int = logging.INFO,
+               json_format: Optional[bool] = None) -> logging.Logger:
+    """Return a configured logger (idempotent per name).
+
+    ``json_format=True`` attaches the structured :class:`JsonFormatter`
+    instead of the plain-text one; ``REPRO_LOG_FORMAT`` overrides
+    either way.  Format is chosen when the logger is first configured.
+    """
     logger = logging.getLogger(name)
     if not logger.handlers:
         handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        if _want_json(json_format):
+            handler.setFormatter(JsonFormatter())
+        else:
+            handler.setFormatter(logging.Formatter(
+                "%(asctime)s %(name)s %(levelname)s %(message)s"))
         logger.addHandler(handler)
         logger.setLevel(level)
         logger.propagate = False
     return logger
+
+
+def log_event(logger: logging.Logger, level: int, msg: str, **fields) -> None:
+    """Log ``msg`` with structured ``fields`` (JSON keys / plain suffix).
+
+    Convenience over ``logger.log(..., extra=...)`` that also keeps
+    plain-format output readable by appending ``key=value`` pairs, and
+    stamps a monotonic ``mono`` field so intervals between two JSON
+    lines are computable even if the wall clock steps.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    fields.setdefault("mono", round(time.perf_counter(), 6))
+    if any(isinstance(h.formatter, JsonFormatter) for h in logger.handlers):
+        logger.log(level, msg, extra=fields)
+    else:
+        suffix = " ".join(f"{k}={v}" for k, v in fields.items()
+                          if k != "mono")
+        logger.log(level, "%s %s" % (msg, suffix) if suffix else msg)
