@@ -137,6 +137,47 @@ async def drive(host, port, registry_dir, model_v2):
     check(status == 200 and listing["recorder"]["recorded"] > 0
           and len(listing["traces"]) > 0, "/v1/traces lists retained traces")
 
+    print("streaming ingest across compaction...")
+    status, body = await http_request(host, port, "GET", "/healthz")
+    num_nodes = json.loads(body)["num_nodes"]
+    stride = max(2, num_nodes // 4)
+    probe_u, probe_v = 2, 2 + stride
+    first = await ndjson_session(host, port, [
+        {"op": "add_edge", "u": probe_u, "v": probe_v}])
+    check(first[0]["ok"], "probe edge added")
+    # Burst fresh edges (with scores interleaved on every connection)
+    # until the store's compaction threshold trips — the burst count
+    # needed depends on the dataset's base edge count, so adapt.
+    candidates = iter([(u, u + d) for d in range(stride + 1, num_nodes)
+                       for u in range(num_nodes - d)])
+    stats = {}
+    for round_no in range(60):
+        requests = [{"op": "add_edge", "u": u, "v": v}
+                    for u, v in (next(candidates) for _ in range(15))]
+        requests.append({"op": "score", "nodes": [round_no % num_nodes]})
+        requests.append({"op": "stats"})
+        burst = await ndjson_session(host, port, requests)
+        if not all(r["ok"] for r in burst):
+            raise AssertionError(f"ingest burst {round_no} failed")
+        stats = burst[-1]["stats"]
+        if stats["store_compactions"] >= 1:
+            break
+    check(stats.get("store_compactions", 0) >= 1,
+          f"threshold compaction fired under live scoring "
+          f"({stats.get('store_compactions')}x, "
+          f"pending={stats.get('store_pending_edges')})")
+    before = await ndjson_session(
+        host, port, [{"op": "score_edge", "u": probe_u, "v": probe_v}])
+    status, body = await http_request(host, port, "POST", "/v1/update",
+                                      {"op": "compact"})
+    compacted = json.loads(body)
+    check(status == 200 and compacted["ok"]
+          and compacted["pending_edges"] == 0, "/v1/update explicit compact")
+    after = await ndjson_session(
+        host, port, [{"op": "score_edge", "u": probe_u, "v": probe_v}])
+    check(before[0]["score"] == after[0]["score"],
+          "score_edge bitwise-stable across explicit compaction")
+
     print("zero-downtime hot swap...")
     version = ModelRegistry(registry_dir).publish(model_v2, "smoke")
     inflight = [asyncio.ensure_future(
@@ -177,7 +218,8 @@ def main() -> int:
              "--registry", registry_dir, "--name", "smoke",
              "--dataset", DATASET, "--scale", str(SCALE), "--rounds", "1",
              "--listen", "127.0.0.1:0", "--max-batch", "8",
-             "--max-delay-ms", "5", "--max-queue", "64"],
+             "--max-delay-ms", "5", "--max-queue", "64",
+             "--compact-threshold", "0.05"],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
             text=True)
         try:

@@ -130,6 +130,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="requests at least this slow (or errored) are "
                             "retained in the recorder's slow ring beyond "
                             "normal rotation")
+    serve.add_argument("--compact-threshold", type=float, default=0.25,
+                       help="fold the store's delta overlay into the "
+                            "compacted base once pending edges exceed this "
+                            "fraction of the base edge count (0 compacts "
+                            "after every burst; negative disables automatic "
+                            "compaction — use the 'compact' op instead)")
 
     trace = commands.add_parser(
         "trace", help="inspect request traces (gateway or local profile)")
@@ -308,8 +314,10 @@ def _cmd_serve(args) -> int:
             f"checkpoint expects {model.num_features} features but "
             f"{args.dataset}@{args.scale} has {graph.num_features}; "
             "match --dataset/--scale/--seed with the training run")
-    store = GraphStore.from_graph(graph,
-                                  influence_radius=model.config.hop_size)
+    store = GraphStore.from_graph(
+        graph, influence_radius=model.config.hop_size,
+        compact_threshold=(None if args.compact_threshold < 0
+                           else args.compact_threshold))
     service = ScoringService(model, store, rounds=args.rounds,
                              cache_size=args.cache_size)
 

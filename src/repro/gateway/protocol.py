@@ -10,6 +10,7 @@ HTTP adapter.  A request is a JSON object with an ``op`` field::
     {"op": "add_edge", "u": 0, "v": 5}
     {"op": "update_features", "node": 3, "features": [...]}
     {"op": "refresh", "workers": 4}
+    {"op": "compact"}
     {"op": "stats"}
 
 Responses echo ``op`` (and ``id`` when the request carried one, so
@@ -35,7 +36,7 @@ REQUEST_ERRORS = (ValueError, KeyError, IndexError, TypeError,
 
 #: Ops accepted through the gateway's ``POST /v1/update`` endpoint.
 UPDATE_OPS = frozenset({"add_node", "add_edge", "update_features",
-                        "refresh"})
+                        "refresh", "compact"})
 
 
 def parse_request(line: str) -> dict:
@@ -121,6 +122,15 @@ def _dispatch_op(service, request: dict, op,
         return {"ok": True, "op": op, "rescored": result.num_rescored,
                 "num_nodes": len(result.scores),
                 "top_nodes": [int(n) for n in order]}
+    if op == "compact":
+        # Folds the delta overlay into a fresh base index; contents are
+        # identical so no caches drop and no version moves — operators
+        # call this to reclaim merge overhead during quiet periods.
+        folded = store.compact()
+        return {"ok": True, "op": op, "folded": int(folded),
+                "pending_edges": int(store.pending_edges),
+                "compactions": int(store.compactions),
+                "version": store.version}
     if op == "stats":
         return {"ok": True, "op": op, "stats": service.stats()}
     raise ValueError(f"unknown op {op!r}")

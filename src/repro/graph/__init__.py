@@ -1,5 +1,6 @@
 """Graph and hypergraph substrate."""
 
+from .delta import DeltaOverlay, OverlayIndex
 from .dual import dual_hypergraph, edge_features, incidence_from_edges
 from .graph import Graph, canonical_edges
 from .hypergraph import Hypergraph
@@ -23,9 +24,11 @@ from .sampling import (
 )
 
 __all__ = [
+    "DeltaOverlay",
     "Graph",
     "GraphIndex",
     "Hypergraph",
+    "OverlayIndex",
     "canonical_edges",
     "derive_stream_seed",
     "derive_target_seeds",

@@ -1,0 +1,302 @@
+"""LSM-style delta overlay over a compacted :class:`GraphIndex`.
+
+A write-heavy serving store cannot afford a full index rebuild (CSR
+lexsort + edge-key argsort, ``O(M log M)``) per mutation burst.  This
+module splits the topology into
+
+* a **compacted base** — an ordinary immutable :class:`GraphIndex`
+  covering every edge folded in by the last compaction, and
+* a small **delta overlay** (:class:`DeltaOverlay`) — the edges that
+  arrived since, kept as an insertion-order array with lazily-built
+  sorted keys and per-node pending-adjacency runs (a private CSR).
+
+:class:`OverlayIndex` glues the two together behind the full
+``GraphIndex`` read protocol — ``neighbors``, ``degrees``,
+``lookup_edge_ids``, ``contains_edges``, ``indptr``/``indices``/
+``edge_keys``/``edge_key_ids`` — using vectorized two-pointer merges
+(``searchsorted`` position arithmetic over two already-sorted arrays,
+``O(M + d log d)``; never a full re-sort).  The batch sampler and the
+scoring service run unmodified against either representation and draw
+bitwise-identical randoms, which is what lets a store defer compaction
+without perturbing a single score.
+
+Reads that only need membership or neighbour sets (``lookup_edge_ids``,
+``expand_ball``) consult base and overlay side by side without
+materializing the merge; the raw-CSR protocol the batch sampler uses
+(``indptr`` fancy indexing) triggers one cached **fold** per overlay
+instance — a linear merge, done once per store version and reused by
+every batch until the next mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .index import GraphIndex, expand_ball_via, gather_csr_rows
+
+_U64 = np.uint64
+
+
+class DeltaOverlay:
+    """Pending (not yet compacted) edges of a mutable store.
+
+    ``edges`` is the insertion-order ``(d, 2)`` canonical (``u < v``)
+    edge array; edge ids are ``first_id + position``, continuing the
+    base index's numbering.  Sorted keys (for membership probes) and the
+    per-node adjacency runs (for neighbour merges and frontier
+    expansion) are built lazily and cached — both are ``O(d log d)`` on
+    first use, trivial next to a base rebuild.
+    """
+
+    __slots__ = ("edges", "num_nodes", "first_id",
+                 "_keys", "_ids", "_indptr", "_indices")
+
+    def __init__(self, edges: np.ndarray, num_nodes: int, first_id: int):
+        self.edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        self.num_nodes = int(num_nodes)
+        self.first_id = int(first_id)
+        self._keys: Optional[np.ndarray] = None
+        self._ids: Optional[np.ndarray] = None
+        self._indptr: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def sorted_keys(self):
+        """``(sorted uint64 keys, matching edge ids)`` of the overlay
+        (key width is the *current* node count)."""
+        if self._keys is None:
+            keys = (self.edges[:, 0].astype(np.uint64) * _U64(self.num_nodes)
+                    + self.edges[:, 1].astype(np.uint64))
+            order = np.argsort(keys, kind="stable")
+            self._keys = keys[order]
+            self._ids = self.first_id + order.astype(np.int64)
+        return self._keys, self._ids
+
+    def csr(self):
+        """Per-node pending-adjacency runs as a ``(indptr, indices)``
+        CSR pair over all current nodes (both edge directions)."""
+        if self._indptr is None:
+            edges = self.edges
+            rows = np.concatenate([edges[:, 0], edges[:, 1]])
+            cols = np.concatenate([edges[:, 1], edges[:, 0]])
+            order = np.lexsort((cols, rows))
+            self._indices = cols[order]
+            counts = np.bincount(rows, minlength=self.num_nodes)
+            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._indptr = indptr
+        return self._indptr, self._indices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        indptr, _ = self.csr()
+        return np.diff(indptr)
+
+    def gather_neighbors(self, nodes: np.ndarray) -> np.ndarray:
+        indptr, indices = self.csr()
+        return gather_csr_rows(indptr, indices, nodes)
+
+
+def _merge_sorted(a: np.ndarray, b: np.ndarray):
+    """Positions of two disjoint sorted arrays inside their merge."""
+    pos_a = np.arange(len(a), dtype=np.int64) + np.searchsorted(b, a)
+    pos_b = (np.arange(len(b), dtype=np.int64)
+             + np.searchsorted(a, b, side="right"))
+    return pos_a, pos_b
+
+
+class OverlayIndex:
+    """Base ``GraphIndex`` + :class:`DeltaOverlay` behind the full
+    ``GraphIndex`` read protocol.
+
+    Immutable per store version (a mutation makes a new one over the
+    grown overlay slice).  Edge ids continue the base numbering:
+    ``base.num_edges + overlay position`` — exactly the ids a fresh
+    :meth:`GraphIndex.build` over the insertion-order edge log assigns,
+    so ids are stable across compaction.
+    """
+
+    __slots__ = ("base", "overlay", "num_nodes", "num_edges",
+                 "_folded", "_degrees")
+
+    def __init__(self, base: GraphIndex, overlay_edges: np.ndarray,
+                 num_nodes: int):
+        self.base = base
+        self.num_nodes = int(num_nodes)
+        self.overlay = DeltaOverlay(overlay_edges, self.num_nodes,
+                                    base.num_edges)
+        self.num_edges = base.num_edges + len(self.overlay)
+        self._folded: Optional[GraphIndex] = None
+        self._degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Fold: one linear merge, cached for the lifetime of this version
+    # ------------------------------------------------------------------
+    def fold(self) -> GraphIndex:
+        """Merged base+overlay as a plain :class:`GraphIndex`.
+
+        Both merges are two-pointer position arithmetic over arrays that
+        are *already sorted*: CSR rows merge under global
+        ``row * N + col`` keys, edge keys under their canonical key
+        order (base keys re-widened first when nodes arrived since the
+        base was built — an order-preserving ``divmod`` rewrite).
+        """
+        if self._folded is not None:
+            return self._folded
+        base, n = self.base, self.num_nodes
+        width = _U64(n)
+        delta_ptr, delta_ind = self.overlay.csr()
+        delta_counts = np.diff(delta_ptr)
+        base_counts = np.diff(base.indptr)
+
+        counts = delta_counts.copy()
+        counts[:base.num_nodes] += base_counts
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        base_rows = np.repeat(np.arange(base.num_nodes, dtype=np.uint64),
+                              base_counts)
+        delta_rows = np.repeat(np.arange(n, dtype=np.uint64), delta_counts)
+        pos_b, pos_d = _merge_sorted(
+            base_rows * width + base.indices.astype(np.uint64),
+            delta_rows * width + delta_ind.astype(np.uint64))
+        indices[pos_b] = base.indices
+        indices[pos_d] = delta_ind
+
+        base_keys = base.edge_keys
+        if base.num_edges and base.num_nodes != n:
+            base_keys = ((base_keys // _U64(base.num_nodes)) * width
+                         + base_keys % _U64(base.num_nodes))
+        over_keys, over_ids = self.overlay.sorted_keys()
+        pos_b, pos_o = _merge_sorted(base_keys, over_keys)
+        keys = np.empty(len(base_keys) + len(over_keys), dtype=np.uint64)
+        ids = np.empty(len(keys), dtype=np.int64)
+        keys[pos_b] = base_keys
+        ids[pos_b] = base.edge_key_ids
+        keys[pos_o] = over_keys
+        ids[pos_o] = over_ids
+
+        self._folded = GraphIndex.from_arrays(n, indptr, indices, keys, ids)
+        return self._folded
+
+    # Raw-CSR protocol (what the batch sampler fancy-indexes) — answered
+    # from the fold, built once per overlay instance.
+    @property
+    def indptr(self) -> np.ndarray:
+        return self.fold().indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self.fold().indices
+
+    @property
+    def edge_keys(self) -> np.ndarray:
+        return self.fold().edge_keys
+
+    @property
+    def edge_key_ids(self) -> np.ndarray:
+        return self.fold().edge_key_ids
+
+    def to_arrays(self) -> dict:
+        return self.fold().to_arrays()
+
+    # ------------------------------------------------------------------
+    # Cheap merged reads (no fold)
+    # ------------------------------------------------------------------
+    @property
+    def degrees(self) -> np.ndarray:
+        if self._degrees is None:
+            if self._folded is not None:
+                self._degrees = self._folded.degrees
+            else:
+                degrees = self.overlay.degrees.copy()
+                degrees[:self.base.num_nodes] += np.diff(self.base.indptr)
+                self._degrees = degrees
+        return self._degrees
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted 1-hop neighbours — identical to the folded CSR row."""
+        if self._folded is not None:
+            return self._folded.neighbors(node)
+        node = int(node)
+        delta_ptr, delta_ind = self.overlay.csr()
+        pending = delta_ind[delta_ptr[node]:delta_ptr[node + 1]]
+        if node >= self.base.num_nodes:
+            return pending
+        compacted = self.base.neighbors(node)
+        if len(pending) == 0:
+            return compacted
+        return np.sort(np.concatenate([compacted, pending]))
+
+    def lookup_edge_ids(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Edge ids of pairs ``(lo, hi)`` (``lo < hi``), ``-1`` where
+        absent — base probe plus overlay probe, no fold.
+
+        Pairs whose high endpoint is outside the base's key width are
+        never sent to the base: a wider pair's key could alias a valid
+        narrower key (e.g. ``(1, 25)`` under ``N=10`` decodes as
+        ``(3, 5)``), so the width mask is a correctness guard, not an
+        optimization.
+        """
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        out = np.full(lo.shape, -1, dtype=np.int64)
+        if lo.size == 0 or self.num_edges == 0:
+            return out
+        flat_lo, flat_hi = lo.reshape(-1), hi.reshape(-1)
+        flat_out = out.reshape(-1)
+        if self.base.num_edges:
+            in_base = flat_hi < self.base.num_nodes
+            if in_base.any():
+                flat_out[in_base] = self.base.lookup_edge_ids(
+                    flat_lo[in_base], flat_hi[in_base])
+        over_keys, over_ids = self.overlay.sorted_keys()
+        if len(over_keys):
+            miss = np.nonzero(flat_out < 0)[0]
+            if len(miss):
+                queries = (flat_lo[miss].astype(np.uint64)
+                           * _U64(self.num_nodes)
+                           + flat_hi[miss].astype(np.uint64))
+                pos = np.searchsorted(over_keys, queries)
+                clipped = np.minimum(pos, len(over_keys) - 1)
+                hit = (pos < len(over_keys)) & (over_keys[clipped] == queries)
+                flat_out[miss[hit]] = over_ids[clipped[hit]]
+        return out
+
+    def contains_edges(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for the pairs ``(lo, hi)``."""
+        return self.lookup_edge_ids(lo, hi) >= 0
+
+    # ------------------------------------------------------------------
+    # Frontier expansion (no fold: base + pending runs side by side)
+    # ------------------------------------------------------------------
+    def gather_neighbors(self, nodes: np.ndarray) -> np.ndarray:
+        """All neighbours of ``nodes``, flat with repeats (order is
+        base-then-overlay, *not* sorted — for set expansion only)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        parts = []
+        if self.base.num_edges:
+            in_base = nodes[nodes < self.base.num_nodes]
+            if len(in_base):
+                parts.append(self.base.gather_neighbors(in_base))
+        if len(self.overlay):
+            parts.append(self.overlay.gather_neighbors(nodes))
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def expand_ball(self, seeds: np.ndarray, radius: int) -> np.ndarray:
+        """Sorted node ids within ``radius`` hops of ``seeds``
+        (inclusive) — pure-write phases dirty regions without ever
+        paying for a fold."""
+        return expand_ball_via(self.gather_neighbors, self.num_nodes,
+                               seeds, radius)
+
+    def __repr__(self) -> str:
+        return (f"OverlayIndex(nodes={self.num_nodes}, "
+                f"base_edges={self.base.num_edges}, "
+                f"pending={len(self.overlay)})")

@@ -209,15 +209,74 @@ class GraphIndex:
         clipped = np.minimum(pos, self.num_edges - 1)
         return (pos < self.num_edges) & (self.edge_keys[clipped] == queries)
 
+    # ------------------------------------------------------------------
+    # Batched frontier expansion
+    # ------------------------------------------------------------------
+    def gather_neighbors(self, nodes: np.ndarray) -> np.ndarray:
+        """All neighbours of ``nodes`` as one flat array (with repeats)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return gather_csr_rows(self.indptr, self.indices, nodes)
+
+    def expand_ball(self, seeds: np.ndarray, radius: int) -> np.ndarray:
+        """Sorted node ids within ``radius`` hops of ``seeds`` (inclusive).
+
+        Layered CSR frontier expansion — one ``gather`` + ``unique`` per
+        layer instead of a per-node Python BFS.
+        """
+        return expand_ball_via(self.gather_neighbors, self.num_nodes,
+                               seeds, radius)
+
+
+def gather_csr_rows(indptr: np.ndarray, indices: np.ndarray,
+                    nodes: np.ndarray) -> np.ndarray:
+    """Concatenated CSR rows of ``nodes`` via ``np.repeat`` + fancy
+    indexing (no per-node slicing)."""
+    counts = indptr[nodes + 1] - indptr[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=indices.dtype)
+    starts = np.zeros(len(nodes) + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    seg = np.repeat(np.arange(len(nodes), dtype=np.int64), counts)
+    pos = np.arange(total, dtype=np.int64) - starts[seg]
+    return indices[indptr[nodes][seg] + pos]
+
+
+def expand_ball_via(gather, num_nodes: int, seeds: np.ndarray,
+                    radius: int) -> np.ndarray:
+    """Hop-``radius`` ball around ``seeds`` under a neighbour ``gather``
+    callback (flat array in, flat array out).  Shared by
+    :class:`GraphIndex` and the delta-overlay index so dirty-region
+    tracking works identically on either representation."""
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    seen = np.zeros(num_nodes, dtype=bool)
+    seen[seeds] = True
+    frontier = seeds
+    for _ in range(radius):
+        if len(frontier) == 0:
+            break
+        neighbors = gather(frontier)
+        if len(neighbors) == 0:
+            break
+        fresh = np.unique(neighbors[~seen[neighbors]])
+        if len(fresh) == 0:
+            break
+        seen[fresh] = True
+        frontier = fresh
+    return np.nonzero(seen)[0].astype(np.int64)
+
 
 def index_of(graph) -> GraphIndex:
     """The sampling index of ``graph``.
 
     Uses the cached ``.index`` property that :class:`Graph` and
-    :class:`GraphStore` expose; falls back to an ad-hoc build for other
-    objects implementing the sampler protocol with an ``edges`` array.
+    :class:`GraphStore` expose — duck-typed, so a store may answer with
+    either a compacted :class:`GraphIndex` or a delta-overlay index
+    (:class:`repro.graph.delta.OverlayIndex`) implementing the same read
+    protocol; falls back to an ad-hoc build for other objects
+    implementing the sampler protocol with an ``edges`` array.
     """
     index: Optional[GraphIndex] = getattr(graph, "index", None)
-    if isinstance(index, GraphIndex):
+    if index is not None and hasattr(index, "lookup_edge_ids"):
         return index
     return GraphIndex.build(graph.num_nodes, np.asarray(graph.edges))

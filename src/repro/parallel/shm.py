@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..graph.delta import OverlayIndex
 from ..graph.index import GraphIndex
 
 
@@ -52,10 +53,17 @@ class SharedArraySpec:
 
 @dataclass(frozen=True)
 class SharedGraphSpec:
-    """Everything a worker needs to reattach the parent's graph."""
+    """Everything a worker needs to reattach the parent's graph.
+
+    ``base_num_nodes`` is set when the export captured a delta-overlay
+    index mid-stream: the base :class:`GraphIndex` arrays are keyed to
+    the *base* node count (edge keys use its width), while
+    ``num_nodes`` is the live count the overlay extends to.
+    """
 
     num_nodes: int
     arrays: Dict[str, SharedArraySpec]
+    base_num_nodes: Optional[int] = None
 
 
 class SharedGraph:
@@ -149,24 +157,37 @@ class SharedGraphExport:
         self._blocks = blocks
 
     @classmethod
-    def create(cls, features: np.ndarray, index: GraphIndex) -> "SharedGraphExport":
-        """Export ``features`` plus a built :class:`GraphIndex`.
+    def create(cls, features: np.ndarray, index) -> "SharedGraphExport":
+        """Export ``features`` plus a built index.
 
-        The index arrays are exported as-is (already sorted), so
-        workers reconstruct it with zero computation.
+        A plain :class:`GraphIndex` ships its arrays as-is (already
+        sorted), so workers reconstruct it with zero computation.  An
+        :class:`~repro.graph.delta.OverlayIndex` ships its *base*
+        arrays plus the raw overlay edge log — no compaction and no
+        fold is forced on the serving path just to shard a refresh;
+        each worker rebuilds the same cheap overlay wrapper.
         """
         blocks: List[shared_memory.SharedMemory] = []
-        arrays = index.to_arrays()
+        overlay = getattr(index, "overlay", None)
+        base = index.base if overlay is not None else index
+        arrays = base.to_arrays()
         try:
             specs = {"features": _export_array(features, blocks)}
             for name in ("indptr", "indices", "edge_keys", "edge_key_ids"):
                 specs[name] = _export_array(arrays[name], blocks)
+            if overlay is not None:
+                specs["overlay_edges"] = _export_array(overlay.edges, blocks)
         except Exception:
             for block in blocks:
                 block.close()
                 block.unlink()
             raise
-        return cls(SharedGraphSpec(index.num_nodes, specs), blocks)
+        if overlay is not None:
+            spec = SharedGraphSpec(index.num_nodes, specs,
+                                   base_num_nodes=base.num_nodes)
+        else:
+            spec = SharedGraphSpec(index.num_nodes, specs)
+        return cls(spec, blocks)
 
     def destroy(self) -> None:
         """Close and unlink every segment (idempotent)."""
@@ -191,12 +212,17 @@ def attach_shared_graph(spec: SharedGraphSpec) -> SharedGraph:
     try:
         features = _attach_array(spec.arrays["features"], blocks)
         index = GraphIndex.from_arrays(
-            spec.num_nodes,
+            spec.base_num_nodes if spec.base_num_nodes is not None
+            else spec.num_nodes,
             _attach_array(spec.arrays["indptr"], blocks),
             _attach_array(spec.arrays["indices"], blocks),
             _attach_array(spec.arrays["edge_keys"], blocks),
             _attach_array(spec.arrays["edge_key_ids"], blocks),
         )
+        if "overlay_edges" in spec.arrays:
+            index = OverlayIndex(
+                index, _attach_array(spec.arrays["overlay_edges"], blocks),
+                spec.num_nodes)
     except Exception:
         for block in blocks:
             block.close()

@@ -9,6 +9,11 @@ the cache never serves a view the sampler would no longer produce.
 Because the serving layer derives the sampler RNG deterministically from
 ``(seed, round, target)``, a *valid* cached view is bitwise identical to
 what re-sampling would return — cache hits change latency, never scores.
+
+Store compaction (folding the delta overlay into the compacted base
+index) changes the topology's *representation*, not its content, and
+does not bump ``store.version`` — so a compaction invalidates nothing
+here: every warm entry keeps serving across compaction boundaries.
 """
 
 from __future__ import annotations

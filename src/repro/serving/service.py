@@ -36,8 +36,9 @@ from ..core.scoring import RoundEvidence, mean_edge_rounds, score_target_span
 from ..core.views import (
     batch_graph_views,
     batch_hypergraph_views,
-    build_graph_view,
-    build_hypergraph_view,
+    batch_hypergraph_views_from_subgraphs,
+    graph_views_from_subgraphs,
+    split_hypergraph_views,
 )
 from ..graph.graph import Graph
 from ..graph.index import derive_stream_seed, derive_target_seeds
@@ -80,12 +81,56 @@ def forward_rng(seed: int, round_index: int) -> np.random.Generator:
     return np.random.default_rng((seed, 1, round_index))
 
 
+def _draw_view_augmentation(batch, targets: np.ndarray, round_index: int,
+                            seed: int, mask_prob: float, drop_prob: float):
+    """Γ1/Γ2 outcomes for a sampled batch from the legacy per-target
+    ``Generator`` streams.
+
+    Replays exactly the draws ``build_hypergraph_view(sub,
+    view_rng(seed, target, round))`` would consume — first the ``(D,)``
+    feature mask (only when ``mask_prob > 0``), then the ``(Ms, slots)``
+    incidence-drop matrix (only when ``drop_prob > 0``); degenerate
+    targets draw nothing — so the vectorized builder produces
+    bitwise-identical augmented views.  Returns ``(feature_masks,
+    incidence_keep)`` for :func:`batch_hypergraph_views_from_subgraphs`
+    (``None`` for whichever augmentation is disabled).
+    """
+    num_views = len(batch)
+    slots = batch.slots
+    dim = batch.features.shape[1]
+    edge_counts = np.diff(batch.edge_offsets)
+    masks = np.ones((num_views, dim), dtype=bool) if mask_prob > 0.0 else None
+    keep = (np.ones((len(batch.edges), 2), dtype=bool)
+            if drop_prob > 0.0 else None)
+    if masks is None and keep is None:
+        return None, None
+    for i, target in enumerate(targets):
+        ms = int(edge_counts[i])
+        if ms == 0:
+            continue
+        rng = view_rng(seed, int(target), round_index)
+        if masks is not None:
+            masks[i] = rng.random(dim) >= mask_prob
+        if keep is not None:
+            e0 = int(batch.edge_offsets[i])
+            local = batch.edges[e0:e0 + ms]
+            mat = rng.random((ms, slots)) >= drop_prob
+            rows = np.arange(ms)
+            keep[e0:e0 + ms, 0] = mat[rows, local[:, 0]]
+            keep[e0:e0 + ms, 1] = mat[rows, local[:, 1]]
+    return masks, keep
+
+
 def sample_target_views(graph_like, targets: np.ndarray, round_index: int,
                         seed: int, config) -> list:
     """Sample + build the ``(graph_view, hyper_view)`` pairs of one round.
 
-    One vectorized batch sampling call, then per-target view
-    construction with the per-``(target, round)`` augmentation streams.
+    One vectorized batch sampling call, then ONE vectorized view build
+    for the whole chunk — dense-stacked graph views and a single
+    block-diagonal hypergraph build, split back into per-target views
+    for the ``(target, round)`` cache.  Augmentation outcomes are
+    precomputed from the per-``(target, round)`` streams, so the output
+    is bitwise what the old per-target ``build_*_view`` loop produced.
     Pure function of ``(topology, seed, round, targets)`` — the service
     miss path and the sharded refresh workers both call it, which is
     what keeps their scores bitwise-identical.
@@ -95,19 +140,19 @@ def sample_target_views(graph_like, targets: np.ndarray, round_index: int,
     sampled = sample_enclosing_subgraphs(
         graph_like, targets, k=config.hop_size,
         size=config.subgraph_size, target_seeds=seeds)
-    with obs_trace.span("views.build_per_target") as sp:
+    with obs_trace.span("views.build_batched") as sp:
         sp.set(targets=len(targets), round=round_index)
-        views = []
-        for i, target in enumerate(targets):
-            sub = sampled.view(i)
-            graph_view = build_graph_view(sub)
-            hyper_view = build_hypergraph_view(
-                sub, view_rng(seed, int(target), round_index),
-                feature_mask_prob=config.feature_mask_prob,
-                incidence_drop_prob=config.incidence_drop_prob,
-                augment=config.augment_at_inference)
-            views.append((graph_view, hyper_view))
-    return views
+        graph_views = graph_views_from_subgraphs(sampled)
+        masks = keep = None
+        if config.augment_at_inference:
+            masks, keep = _draw_view_augmentation(
+                sampled, targets, round_index, seed,
+                config.feature_mask_prob, config.incidence_drop_prob)
+        batched = batch_hypergraph_views_from_subgraphs(
+            sampled, augment=False,
+            feature_masks=masks, incidence_keep=keep)
+        hyper_views = split_hypergraph_views(sampled, batched)
+    return list(zip(graph_views, hyper_views))
 
 
 def batch_round_views(graph_like, chunk: np.ndarray, round_index: int,
@@ -566,6 +611,8 @@ class ScoringService:
             "refreshes": self._refreshes,
             "model_swaps": self._swaps,
             "store_version": self.store.version,
+            "store_pending_edges": getattr(self.store, "pending_edges", 0),
+            "store_compactions": getattr(self.store, "compactions", 0),
             "rounds": self.rounds,
         }
         stats.update({f"cache_{k}": v for k, v in self.cache.stats().items()})

@@ -65,6 +65,8 @@ class StreamSnapshot:
     rescored: int                # nodes recomputed by this refresh
     scores: np.ndarray           # (num_nodes,) current score table
     top_nodes: np.ndarray        # highest-scoring node ids, descending
+    pending_edges: int = 0       # overlay size (edges since last compaction)
+    compactions: int = 0         # compactions performed so far
 
     @property
     def rescored_fraction(self) -> float:
@@ -112,6 +114,9 @@ class StreamDriver:
             rescored=result.num_rescored,
             scores=result.scores,
             top_nodes=order[: self.top_k].astype(np.int64),
+            pending_edges=int(getattr(self.service.store,
+                                      "pending_edges", 0)),
+            compactions=int(getattr(self.service.store, "compactions", 0)),
         )
 
     def replay(self, events: Sequence[Event],

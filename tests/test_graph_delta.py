@@ -1,0 +1,348 @@
+"""Delta-overlay GraphIndex: protocol equivalence, streaming bitwise pins.
+
+The contract under test: an :class:`OverlayIndex` (compacted base +
+delta overlay) is indistinguishable — read for read, and therefore
+score for score, bit for bit — from a fresh :class:`GraphIndex` built
+over the same topology, and compaction changes the representation
+without changing any observable (ids, versions, caches, scores).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Bourne, BourneConfig
+from repro.graph import Graph, GraphIndex, OverlayIndex
+from repro.graph.delta import DeltaOverlay
+from repro.parallel.shm import SharedGraphExport, attach_shared_graph
+from repro.serving import GraphStore, ScoringService
+
+
+def fresh_index(store: GraphStore) -> GraphIndex:
+    """GraphIndex.build over the store's insertion-order edge log."""
+    edges = (np.array([store.edge_key(i) for i in range(store.num_edges)],
+                      dtype=np.int64).reshape(-1, 2))
+    return GraphIndex.build(store.num_nodes, edges)
+
+
+def random_store(seed: int, num_nodes: int = 40, num_edges: int = 60,
+                 compact_threshold=None) -> GraphStore:
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        u, v = rng.integers(0, num_nodes, size=2)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return GraphStore(rng.normal(size=(num_nodes, 5)),
+                      np.array(sorted(edges), dtype=np.int64),
+                      compact_threshold=compact_threshold)
+
+
+def assert_index_equivalent(index, reference: GraphIndex) -> None:
+    """Every read-protocol answer matches the reference index."""
+    assert index.num_nodes == reference.num_nodes
+    assert index.num_edges == reference.num_edges
+    np.testing.assert_array_equal(index.degrees, reference.degrees)
+    for node in range(reference.num_nodes):
+        np.testing.assert_array_equal(index.neighbors(node),
+                                      reference.neighbors(node))
+    n = reference.num_nodes
+    pairs = np.stack(np.triu_indices(n, k=1), axis=1)
+    lo, hi = pairs[:, 0], pairs[:, 1]
+    np.testing.assert_array_equal(index.lookup_edge_ids(lo, hi),
+                                  reference.lookup_edge_ids(lo, hi))
+    np.testing.assert_array_equal(index.contains_edges(lo, hi),
+                                  reference.contains_edges(lo, hi))
+    folded = index.to_arrays()
+    expected = reference.to_arrays()
+    for key in expected:
+        np.testing.assert_array_equal(np.asarray(folded[key]),
+                                      np.asarray(expected[key]))
+
+
+class TestOverlayIndexProtocol:
+    def test_overlay_matches_fresh_build(self):
+        store = random_store(0)
+        store.add_edges(np.array([[0, 30], [5, 17], [2, 3]]))
+        index = store.index
+        assert isinstance(index, OverlayIndex)
+        assert store.pending_edges > 0
+        assert_index_equivalent(index, fresh_index(store))
+
+    def test_overlay_after_node_growth(self):
+        """Keys are rekeyed when the node count (key width) grows."""
+        store = random_store(1, num_nodes=12, num_edges=15)
+        store.add_nodes(np.zeros((25, 5)))
+        store.add_edges(np.array([[1, 25], [0, 36], [11, 12]]))
+        index = store.index
+        assert isinstance(index, OverlayIndex)
+        assert_index_equivalent(index, fresh_index(store))
+
+    def test_out_of_width_pairs_never_alias_base_keys(self):
+        """Regression: with base width N=10, the pair (1, 25) encodes to
+        the same key as the base edge (3, 5); membership probes must not
+        report the alias as present."""
+        features = np.zeros((10, 3))
+        store = GraphStore(features, np.array([[3, 5]]),
+                           compact_threshold=None)
+        store.add_nodes(np.zeros((20, 3)))
+        index = store.index
+        lo = np.array([1]); hi = np.array([25])
+        assert not index.contains_edges(lo, hi)[0]
+        assert index.lookup_edge_ids(lo, hi)[0] == -1
+        assert not store.has_edge(1, 25)
+        store.add_edges(np.array([[1, 25]]))
+        assert store.has_edge(1, 25)
+        assert store.has_edge(3, 5)
+        assert_index_equivalent(store.index, fresh_index(store))
+
+    def test_expand_ball_matches_python_bfs(self):
+        store = random_store(2)
+        store.add_edges(np.array([[0, 39], [10, 20]]))
+        index = store.index
+        adj = {n: set(index.neighbors(n).tolist())
+               for n in range(store.num_nodes)}
+        for seeds in ([0], [5, 39], [12]):
+            for radius in (1, 2, 3):
+                seen = set(seeds)
+                frontier = set(seeds)
+                for _ in range(radius):
+                    frontier = {m for n in frontier for m in adj[n]} - seen
+                    seen |= frontier
+                got = index.expand_ball(np.asarray(seeds), radius)
+                assert set(got.tolist()) == seen
+                np.testing.assert_array_equal(got, np.sort(got))
+
+    def test_empty_base_and_empty_overlay(self):
+        store = GraphStore(np.zeros((6, 2)), compact_threshold=None)
+        assert store.index.num_edges == 0
+        store.add_edges(np.array([[0, 1], [2, 3]]))
+        index = store.index
+        assert isinstance(index, OverlayIndex)
+        assert index.base.num_edges == 0
+        assert_index_equivalent(index, fresh_index(store))
+
+    def test_delta_overlay_degrees_and_gather(self):
+        overlay = DeltaOverlay(np.array([[0, 2], [1, 2], [0, 3]]),
+                               num_nodes=5, first_id=7)
+        np.testing.assert_array_equal(overlay.degrees, [2, 1, 2, 1, 0])
+        np.testing.assert_array_equal(np.sort(overlay.gather_neighbors(
+            np.array([2])).tolist()), [0, 1])
+        keys, ids = overlay.sorted_keys()
+        np.testing.assert_array_equal(keys, np.sort(keys))
+        np.testing.assert_array_equal(ids, [7, 9, 8])  # (0,2),(0,3),(1,2)
+
+
+class TestCompaction:
+    def test_compact_preserves_everything_but_representation(self):
+        store = random_store(3, compact_threshold=None)
+        store.add_edges(np.array([[0, 25], [7, 31]]))
+        version = store.version
+        pending = store.pending_edges
+        assert pending > 0
+        before = fresh_index(store)
+        ids_before = [store.edge_key(i) for i in range(store.num_edges)]
+        folded = store.compact()
+        assert folded == pending
+        assert store.version == version          # no version bump
+        assert store.pending_edges == 0
+        assert isinstance(store.index, GraphIndex)
+        assert [store.edge_key(i) for i in range(store.num_edges)] == ids_before
+        assert_index_equivalent(store.index, before)
+
+    def test_compact_noop_when_clean(self):
+        store = random_store(4, compact_threshold=None)
+        assert store.compact() == 0
+        assert store.compactions == 0
+
+    def test_threshold_triggers_compaction(self):
+        store = random_store(5, num_edges=40, compact_threshold=0.1)
+        for step in range(100):
+            store.add_edges(np.array([[step % 39, 39]]))
+            if store.compactions:
+                break
+        assert store.compactions >= 1
+        assert store.pending_edges == 0
+
+    def test_zero_threshold_compacts_every_burst(self):
+        store = random_store(6, compact_threshold=0.0)
+        store.add_edges(np.array([[0, 39], [1, 38]]))
+        assert store.pending_edges == 0
+        assert store.compactions == 1
+        assert isinstance(store.index, GraphIndex)
+
+
+class TestBatchedInsert:
+    def test_burst_dedup_first_occurrence_wins(self):
+        store = GraphStore(np.zeros((8, 2)), compact_threshold=None)
+        added = store.add_edges(
+            np.array([[2, 1], [1, 2], [3, 4], [4, 3], [5, 6]]),
+            labels=[9, 8, 7, 6, 5])
+        assert added == 3
+        assert store.edge_key(0) == (1, 2)
+        assert store.edge_key(1) == (3, 4)
+        assert store.edge_key(2) == (5, 6)
+        np.testing.assert_array_equal(store.edge_labels, [9, 7, 5])
+
+    def test_duplicate_of_existing_edge_skipped(self):
+        store = GraphStore(np.zeros((8, 2)), np.array([[0, 1]]),
+                           compact_threshold=None)
+        assert store.add_edges(np.array([[1, 0], [0, 2]])) == 1
+        assert store.num_edges == 2
+
+    def test_validation_errors(self):
+        store = GraphStore(np.zeros((4, 2)))
+        with pytest.raises(IndexError):
+            store.add_edges(np.array([[0, 9]]))
+        with pytest.raises(ValueError):
+            store.add_edges(np.array([[1, 1]]))
+        with pytest.raises(ValueError):
+            store.add_edges(np.array([[0, 1]]), labels=[1, 2])
+
+    def test_touch_region_covers_post_insert_ball(self):
+        """New edges participate in their own dirty region: a node that
+        becomes reachable only THROUGH a new edge is still dirtied."""
+        store = GraphStore(np.zeros((6, 2)), np.array([[2, 3]]),
+                           influence_radius=2, compact_threshold=None)
+        since = store.version
+        store.add_edges(np.array([[1, 2]]))
+        dirty = set(store.dirty_nodes(since).tolist())
+        assert dirty == {1, 2, 3}  # 3 is 2 hops from 1 via the new edge
+
+
+class TestStreamingBitwiseEquality:
+    @staticmethod
+    def _model(dim: int, augment: bool = False) -> Bourne:
+        return Bourne(dim, BourneConfig(
+            hidden_dim=8, subgraph_size=4, eval_rounds=2,
+            augment_at_inference=augment, seed=0))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.sampled_from([None, 0.0, 0.05, 0.5]),
+           st.booleans())
+    def test_interleaved_schedule_matches_fresh_graph(self, seed, threshold,
+                                                      augment):
+        """Overlay, compacted, and fresh-Graph scores agree bitwise
+        across interleaved add_nodes/add_edges/update_features
+        schedules and compaction thresholds."""
+        rng = np.random.default_rng(seed)
+        store = random_store(seed, num_nodes=25, num_edges=35,
+                             compact_threshold=threshold)
+        model = self._model(5, augment=augment)
+        service = ScoringService(model, store, rounds=2)
+        for _ in range(rng.integers(2, 5)):
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                store.add_nodes(rng.normal(size=(rng.integers(1, 3), 5)))
+            elif kind == 1:
+                n = store.num_nodes
+                pairs = rng.integers(0, n, size=(rng.integers(1, 6), 2))
+                pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+                if len(pairs):
+                    store.add_edges(pairs)
+            else:
+                node = int(rng.integers(0, store.num_nodes))
+                store.update_features([node], rng.normal(size=(1, 5)))
+        probe = rng.integers(0, store.num_nodes,
+                             size=min(8, store.num_nodes)).tolist()
+        overlay_scores = service.score_nodes(probe, _force=True)
+
+        fresh = ScoringService(model, store.snapshot(), rounds=2)
+        fresh_scores = fresh.score_nodes(probe, _force=True)
+        np.testing.assert_array_equal(overlay_scores, fresh_scores)
+
+        store.compact()
+        compacted_scores = service.score_nodes(probe, _force=True)
+        np.testing.assert_array_equal(compacted_scores, fresh_scores)
+
+    def test_sharded_refresh_mid_stream(self):
+        """refresh(workers=2) with a non-empty overlay (no forced
+        compaction) matches a serial refresh bitwise."""
+        store = random_store(11, compact_threshold=None)
+        model = self._model(5)
+        service = ScoringService(model, store, rounds=2)
+        service.refresh()
+        store.add_edges(np.array([[0, 30], [4, 21], [9, 33]]))
+        store.update_features([2], np.ones((1, 5)))
+        assert store.pending_edges > 0
+
+        serial_store = random_store(11, compact_threshold=None)
+        serial = ScoringService(model, serial_store, rounds=2)
+        serial.refresh()
+        serial_store.add_edges(np.array([[0, 30], [4, 21], [9, 33]]))
+        serial_store.update_features([2], np.ones((1, 5)))
+
+        sharded = service.refresh(workers=2)
+        assert store.pending_edges > 0    # refresh never forced compaction
+        expected = serial.refresh()
+        np.testing.assert_array_equal(sharded.scores, expected.scores)
+        np.testing.assert_array_equal(sharded.rescored, expected.rescored)
+
+    def test_delta_log_replay_golden_digest(self):
+        """The same event log replayed through the delta store, a
+        rebuild-per-burst store, and a scratch store produces one score
+        digest — the serving layer's replayability guarantee."""
+        model = self._model(5)
+        log = [("edges", np.array([[0, 20], [5, 6]])),
+               ("nodes", np.arange(10.0).reshape(2, 5)),
+               ("edges", np.array([[40, 3], [40, 41], [7, 8]])),
+               ("feat", (4, np.full((1, 5), 2.0))),
+               ("edges", np.array([[1, 2], [12, 30]]))]
+
+        def replay(threshold):
+            store = random_store(13, compact_threshold=threshold)
+            service = ScoringService(model, store, rounds=2)
+            for kind, payload in log:
+                if kind == "edges":
+                    store.add_edges(payload)
+                elif kind == "nodes":
+                    store.add_nodes(payload)
+                else:
+                    store.update_features([payload[0]], payload[1])
+            scores = service.score_nodes(range(store.num_nodes), _force=True)
+            return hashlib.sha256(scores.tobytes()).hexdigest()
+
+        digests = {replay(None), replay(0.0), replay(0.3)}
+        assert len(digests) == 1
+
+
+class TestSharedMemoryOverlay:
+    def test_export_attach_round_trip_mid_stream(self):
+        store = random_store(17, compact_threshold=None)
+        store.add_nodes(np.zeros((3, 5)))
+        store.add_edges(np.array([[0, 41], [40, 42], [6, 7]]))
+        index = store.index
+        assert isinstance(index, OverlayIndex)
+        export = SharedGraphExport.create(store.features, index)
+        try:
+            assert export.spec.base_num_nodes == index.base.num_nodes
+            attached = attach_shared_graph(export.spec)
+            try:
+                assert isinstance(attached.index, OverlayIndex)
+                assert attached.num_nodes == store.num_nodes
+                assert attached.num_edges == store.num_edges
+                assert_index_equivalent(attached.index, fresh_index(store))
+            finally:
+                attached.close()
+        finally:
+            export.destroy()
+
+    def test_compacted_store_exports_plain_index(self):
+        store = random_store(19, compact_threshold=None)
+        store.add_edges(np.array([[0, 30]]))
+        store.compact()
+        export = SharedGraphExport.create(store.features, store.index)
+        try:
+            assert export.spec.base_num_nodes is None
+            attached = attach_shared_graph(export.spec)
+            try:
+                assert isinstance(attached.index, GraphIndex)
+                assert_index_equivalent(attached.index, fresh_index(store))
+            finally:
+                attached.close()
+        finally:
+            export.destroy()
