@@ -11,11 +11,14 @@ times its baseline — the blocking replacement for the old
 Usage::
 
     python scripts/check_bench.py --tolerance 0.8 \\
-        --pair baseline_sampling.json=BENCH_sampling.json \\
-        --pair baseline_parallel.json=BENCH_parallel.json \\
-        --pair baseline_training.json=BENCH_training.json
+        --baseline-dir /tmp/bench-baselines --fresh-dir .
 
-Each ``--pair`` is ``BASELINE=FRESH``.  A fresh report that carries
+``--baseline-dir`` discovers every ``BENCH_*.json`` in the baseline
+directory and pairs it with the file of the same name under
+``--fresh-dir`` (default: the current directory) — new benchmarks join
+the gate by existing, without editing the CI invocation.  Explicit
+``--pair BASELINE=FRESH`` flags remain supported for ad-hoc
+comparisons.  A fresh report that carries
 ``"pass": false`` fails the gate outright (the benchmark's own absolute
 target was missed); ``"pass": null`` means the absolute target was
 skipped on that machine (for example, too few cores for the parallel
@@ -24,7 +27,9 @@ speedup), in which case the relative regression check still applies.
 
 import argparse
 import json
+import os
 import sys
+from glob import glob
 
 
 def iter_speedups(report, prefix=""):
@@ -103,6 +108,20 @@ def check_pair(baseline_path, fresh_path, tolerance):
     return failures
 
 
+def discover_pairs(baseline_dir, fresh_dir):
+    """Pair every ``BENCH_*.json`` baseline with its fresh counterpart.
+
+    Pairing is by basename; the fresh file need not exist yet — the
+    missing-report failure surfaces inside :func:`check_pair` (via the
+    open) rather than silently shrinking the gate.
+    """
+    baselines = sorted(glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    return [
+        (path, os.path.join(fresh_dir, os.path.basename(path)))
+        for path in baselines
+    ]
+
+
 def parse_pair(raw):
     baseline, sep, fresh = raw.partition("=")
     if not sep or not baseline or not fresh:
@@ -119,9 +138,21 @@ def main(argv=None) -> int:
         dest="pairs",
         type=parse_pair,
         action="append",
-        required=True,
+        default=[],
         metavar="BASELINE=FRESH",
         help="baseline and fresh report paths (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="discover BENCH_*.json baselines here and pair each with "
+        "the same-named fresh report under --fresh-dir",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=".",
+        help="directory holding fresh reports for --baseline-dir "
+        "discovery (default: current directory)",
     )
     parser.add_argument(
         "--tolerance",
@@ -133,9 +164,23 @@ def main(argv=None) -> int:
     if not 0.0 < args.tolerance <= 1.0:
         parser.error("--tolerance must be in (0, 1]")
 
+    pairs = list(args.pairs)
+    if args.baseline_dir is not None:
+        discovered = discover_pairs(args.baseline_dir, args.fresh_dir)
+        if not discovered:
+            parser.error(
+                f"no BENCH_*.json baselines found in {args.baseline_dir!r}"
+            )
+        pairs.extend(discovered)
+    if not pairs:
+        parser.error("provide --pair or --baseline-dir")
+
     failures = []
-    for baseline_path, fresh_path in args.pairs:
+    for baseline_path, fresh_path in pairs:
         print(f"{baseline_path} vs {fresh_path}:")
+        if not os.path.exists(fresh_path):
+            failures.append(f"{fresh_path}: fresh report missing")
+            continue
         failures.extend(check_pair(baseline_path, fresh_path, args.tolerance))
     if failures:
         print("\nbenchmark regression gate FAILED:")

@@ -36,6 +36,7 @@ import numpy as np
 from ..graph.graph import Graph
 from ..graph.index import derive_stream_seed, derive_target_seeds
 from ..obs import trace as obs_trace
+from ..tensor.backend import resolve_backend
 from ..utils.seed import rng_from_seed
 from .model import Bourne
 
@@ -151,6 +152,7 @@ def score_target_span(
     batch_size: int,
     build_views: Callable[[np.ndarray, int], tuple],
     forward_streams: Callable[[int], dict],
+    backend=None,
 ) -> RoundEvidence:
     """Run the multi-round scoring loop over one span of targets.
 
@@ -163,7 +165,14 @@ def score_target_span(
     ``rng=`` in serving).  Both callbacks must be pure functions of
     ``(chunk, round)`` — never of batch layout — which is what makes
     every caller's output bitwise-identical however the span is split.
+
+    ``backend`` selects the compute backend for the forward pass (a
+    registered name, a :class:`repro.tensor.TensorBackend` instance, or
+    ``None`` for the process default) — this call site is the single
+    seam every scoring surface inherits it through.  The default
+    ``numpy`` backend is the model's own forward, bitwise-unchanged.
     """
+    backend = resolve_backend(backend)
     targets = np.asarray(targets, dtype=np.int64)
     width = len(targets)
     evidence = RoundEvidence(node_sum=np.zeros(width),
@@ -180,9 +189,10 @@ def score_target_span(
                 sp.set(round=round_index, chunk=len(chunk))
                 gviews, hviews = build_views(chunk, round_index)
             with obs_trace.span("scoring.forward") as sp:
-                sp.set(round=round_index, chunk=len(chunk))
-                scores = model.forward_batch(gviews, hviews,
-                                             **forward_streams(round_index))
+                sp.set(round=round_index, chunk=len(chunk),
+                       backend=backend.name)
+                scores = backend.forward_batch(model, gviews, hviews,
+                                               **forward_streams(round_index))
             evidence.forward_batches += 1
             if scores.node_scores is not None:
                 evidence.node_sum[offset:offset + len(chunk)] += \
@@ -253,6 +263,7 @@ def score_graph(
     shards: Optional[int] = None,
     planner=None,
     pool=None,
+    backend=None,
 ) -> AnomalyScores:
     """Score every node and edge of ``graph`` with ``rounds`` evaluations.
 
@@ -282,6 +293,13 @@ def score_graph(
         ``4 × workers``), the :class:`repro.parallel.ShardPlanner`
         that places the shard boundaries, and an optional persistent
         :class:`repro.parallel.WorkerPool` to reuse.
+    backend:
+        Compute backend for the forward pass — a registered name
+        (``"numpy"``/``"fused"``/``"numba"``), a backend instance, or
+        ``None`` for the process default.  The ``numpy`` reference is
+        the bitwise pin; fast backends stay within ``1e-5`` relative
+        tolerance (workers > 1 requires a registered name so worker
+        processes can resolve it).
     """
     cfg = model.config
     rounds = rounds if rounds is not None else cfg.eval_rounds
@@ -295,6 +313,7 @@ def score_graph(
         return score_graph_sharded(
             model, graph, rounds=rounds, batch_size=batch_size, seed=seed,
             workers=workers, shards=shards, planner=planner, pool=pool,
+            backend=backend,
         )
     edge_sum = np.zeros(graph.num_edges)
     edge_count = np.zeros(graph.num_edges)
@@ -310,6 +329,7 @@ def score_graph(
             model, np.arange(graph.num_nodes), rounds, batch_size,
             offline_view_builder(model, graph, round_bases),
             lambda round_index: {"mask_seed": int(mask_seeds[round_index])},
+            backend=backend,
         )
         node_sum, node_count = evidence.node_sum, evidence.node_count
         replay_edge_rounds(edge_sum, edge_count, rounds, [evidence])
@@ -319,6 +339,7 @@ def score_graph(
     # Legacy per-target reference path: one sequential RNG threads
     # through sampling, augmentation, and the forward mask, so it
     # cannot share the counter-based span loop.
+    resolved = resolve_backend(backend)
     rng = rng_from_seed((cfg.seed if seed is None else seed)
                         + INFERENCE_SEED_OFFSET)
     node_sum = np.zeros(graph.num_nodes)
@@ -331,7 +352,7 @@ def score_graph(
                 graph, batch, rng=rng, augment=cfg.augment_at_inference,
                 sampler=sampler,
             )
-            scores = model.forward_batch(gviews, hviews, rng=rng)
+            scores = resolved.forward_batch(model, gviews, hviews, rng=rng)
             if scores.node_scores is not None:
                 values = scores.node_scores.data
                 node_sum[batch] += values

@@ -109,13 +109,24 @@ def build_graph_view(sub: SampledSubgraph) -> GraphView:
     )
 
 
+def forward_mask_draws(dim: int, prob: float,
+                       rng: np.random.Generator) -> Optional[np.ndarray]:
+    """The Γ1 keep-vector :func:`mask_features` applies (``None`` when
+    masking is disabled).  Consumes exactly the draws the masking
+    helper would — the fused inference kernels call this so their mask
+    matches the reference forward draw-for-draw."""
+    if prob <= 0.0:
+        return None
+    return rng.random(dim) >= prob
+
+
 def mask_features(features: np.ndarray, prob: float,
                   rng: np.random.Generator) -> np.ndarray:
     """Γ1 — zero random feature dimensions with probability ``prob``."""
-    if prob <= 0.0:
+    keep = forward_mask_draws(features.shape[1], prob, rng)
+    if keep is None:
         return features
-    mask = rng.random(features.shape[1]) >= prob
-    return features * mask[None, :]
+    return features * keep[None, :]
 
 
 #: Stream tag of the counter-based forward feature mask (the sampler
@@ -129,6 +140,19 @@ _VIEW_MASK_STREAM = 4
 _VIEW_DROP_STREAM = 5
 
 
+def seeded_forward_mask_draws(dim: int, prob: float,
+                              seed: int) -> Optional[np.ndarray]:
+    """Counter-based Γ1 keep-vector (``None`` when masking is disabled);
+    a pure function of ``(seed, dimension)`` shared by
+    :func:`seeded_mask_features` and the fused inference kernels."""
+    if prob <= 0.0:
+        return None
+    draws = seeded_uniform(np.uint64(int(seed) & 0xFFFFFFFFFFFFFFFF),
+                           _FORWARD_MASK_STREAM,
+                           np.arange(dim, dtype=np.uint64))
+    return draws >= prob
+
+
 def seeded_mask_features(features: np.ndarray, prob: float,
                          seed: int) -> np.ndarray:
     """Γ1 with counter-based draws: the mask depends on ``seed`` only.
@@ -140,12 +164,10 @@ def seeded_mask_features(features: np.ndarray, prob: float,
     evaluation round makes ``node_only`` augmented inference invariant
     to batch size and to sharding.
     """
-    if prob <= 0.0:
+    keep = seeded_forward_mask_draws(features.shape[1], prob, seed)
+    if keep is None:
         return features
-    draws = seeded_uniform(np.uint64(int(seed) & 0xFFFFFFFFFFFFFFFF),
-                           _FORWARD_MASK_STREAM,
-                           np.arange(features.shape[1], dtype=np.uint64))
-    return features * (draws >= prob)[None, :]
+    return features * keep[None, :]
 
 
 def perturb_incidence(incidence, prob: float,
@@ -228,13 +250,23 @@ def build_hypergraph_view(
 # ----------------------------------------------------------------------
 @dataclass
 class BatchedGraphViews:
-    """A minibatch of graph views under one block-diagonal operator."""
+    """A minibatch of graph views under one block-diagonal operator.
+
+    ``operator_stack`` carries the same propagation as ``operator`` but
+    as the dense ``(B, S, S)`` per-view stack (``S`` rows each, patch
+    row 0, target row ``S-1``, context rows ``0..S-2``) when every view
+    is uniform — the layout the batched builders produce.  The fused
+    inference backends (:mod:`repro.nn.fused`) run on the stack; the
+    reference forward ignores it, so both operators always describe
+    the identical system.  ``None`` when views are ragged.
+    """
 
     features: np.ndarray        # (Σ rows, D)
     operator: sp.csr_matrix
     patch_rows: np.ndarray      # (B,)
     target_rows: np.ndarray     # (B,)
     context_pool: sp.csr_matrix  # (B, Σ rows) mean-readout operator
+    operator_stack: Optional[np.ndarray] = None  # (B, S, S) dense stack
 
     @property
     def batch_size(self) -> int:
@@ -290,7 +322,8 @@ def batch_graph_views_from_subgraphs(
     adjacency[edge_view, slot_a, slot_b] = 1.0
     adjacency[edge_view, slot_b, slot_a] = 1.0
     adjacency[:, ns, ns] = 1.0              # isolated self-loop of Eq. 2
-    operator = block_diag_csr(batched_gcn_operator(adjacency))
+    operator_stack = batched_gcn_operator(adjacency)
+    operator = block_diag_csr(operator_stack)
 
     offsets = np.arange(num_views, dtype=np.int64) * rows_per
     pool_rows = np.repeat(np.arange(num_views), ns)
@@ -304,6 +337,7 @@ def batch_graph_views_from_subgraphs(
         patch_rows=offsets.copy(),
         target_rows=offsets + ns,
         context_pool=context_pool,
+        operator_stack=operator_stack,
     )
 
 
@@ -565,10 +599,25 @@ def build_batched_views(
 
 
 def batch_graph_views(views: Sequence[GraphView]) -> BatchedGraphViews:
-    """Stack graph views into one block-diagonal system."""
+    """Stack graph views into one block-diagonal system.
+
+    When every view has the builders' uniform layout (equal row count,
+    patch row 0, target row last, all-but-last context rows) the dense
+    per-view operators are also exposed as ``operator_stack`` so the
+    fused inference backends can skip the block-diagonal indirection.
+    """
     offsets = np.cumsum([0] + [v.features.shape[0] for v in views])
     features = np.vstack([v.features for v in views])
     operator = sp.block_diag([v.operator for v in views], format="csr")
+    rows_per = views[0].features.shape[0] if views else 0
+    uniform = views and all(
+        v.features.shape[0] == rows_per
+        and v.patch_row == 0
+        and v.target_row == rows_per - 1
+        and v.num_context_rows == rows_per - 1
+        for v in views)
+    operator_stack = (np.stack([v.operator for v in views])
+                      if uniform else None)
     patch_rows = np.array([v.patch_row + off for v, off in zip(views, offsets)],
                           dtype=np.int64)
     target_rows = np.array([v.target_row + off for v, off in zip(views, offsets)],
@@ -582,7 +631,7 @@ def batch_graph_views(views: Sequence[GraphView]) -> BatchedGraphViews:
     context_pool = sp.csr_matrix((vals, (rows, cols)),
                                  shape=(len(views), features.shape[0]))
     return BatchedGraphViews(features, operator, patch_rows, target_rows,
-                             context_pool)
+                             context_pool, operator_stack=operator_stack)
 
 
 def batch_hypergraph_views(

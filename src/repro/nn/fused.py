@@ -1,0 +1,490 @@
+"""Fused float32 inference kernels behind the tensor-backend seam.
+
+The reference forward (``Bourne.forward_batch``) runs on the float64
+autograd stack: every conv layer builds a graph of ``Tensor``
+temporaries, the graph branch goes through one huge block-diagonal CSR
+spmm, and the discriminator normalizes through five more node
+allocations.  None of that is needed at inference time.  This module
+compiles a model's weights into a float32 snapshot once and then runs
+the whole conv→activation→readout pipeline over the dense
+``(B, S, S)`` operator stack the batched view builders already produce
+(``S = subgraph_size + 1`` rows per target view), with every large
+intermediate served from a preallocated per-shape workspace — the
+steady-state hot loop allocates only the tiny per-batch score vectors
+it returns.
+
+Two kernel strategies sit behind one interface:
+
+* :class:`NumpyKernelOps` — batched ``np.matmul`` with ``out=`` plus an
+  in-place PReLU; pure numpy, always available.
+* :class:`NumbaKernelOps` — a jitted loop fusing the operator matmul
+  and the PReLU into one pass over the batch.  Compiled only when
+  numba is importable; :class:`NumbaBackend` silently degrades to the
+  numpy ops otherwise (``HAVE_NUMBA``/``backend.jitted`` report which
+  path is live).
+
+Accuracy contract: scores stay within ``1e-5`` relative tolerance of
+the float64 reference (``tests/test_backend.py`` sweeps it across batch
+sizes, shard counts, and modes).  Unsupported shapes — ``edge_only``
+mode, SAGE backbones, conv biases, ``grad_through_target``, batches
+without a dense operator stack — fall back to the reference forward,
+so a fast backend is always *safe* to select.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.model import BatchScores, Bourne
+from ..core.views import (
+    BatchedGraphViews,
+    BatchedHypergraphViews,
+    forward_mask_draws,
+    seeded_forward_mask_draws,
+)
+from ..tensor.autograd import Tensor
+from ..tensor.backend import TensorBackend
+from .activations import PReLU
+from .conv import GCNConv, HGNNConv
+from .linear import MLP, Linear
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the only path on the base image
+    numba = None
+    HAVE_NUMBA = False
+
+#: Matches ``repro.tensor.functional.EPS`` — the discriminator's
+#: normalization epsilon; the fused cosine must use the same guard.
+_EPS = 1e-12
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _bmm_prelu_njit(ops, support, alpha, out):
+        """Fused ``out = prelu(ops @ support)`` over a batch of views."""
+        batch, size, _ = ops.shape
+        dim = support.shape[2]
+        for b in range(batch):
+            for i in range(size):
+                for d in range(dim):
+                    out[b, i, d] = 0.0
+                for k in range(size):
+                    weight = ops[b, i, k]
+                    if weight != 0.0:
+                        for d in range(dim):
+                            out[b, i, d] += weight * support[b, k, d]
+                for d in range(dim):
+                    value = out[b, i, d]
+                    if value < 0.0:
+                        out[b, i, d] = value * alpha
+
+
+class NumpyKernelOps:
+    """Pure-numpy fused step: batched BLAS matmul + in-place PReLU."""
+
+    jitted = False
+
+    def bmm_prelu(self, ops, support, alpha, out, tmp):
+        np.matmul(ops, support, out=out)
+        np.minimum(out, 0.0, out=tmp)
+        np.maximum(out, 0.0, out=out)
+        np.multiply(tmp, alpha, out=tmp)
+        np.add(out, tmp, out=out)
+
+
+class NumbaKernelOps:
+    """Jitted fused step; constructible only when numba imported."""
+
+    jitted = True
+
+    def bmm_prelu(self, ops, support, alpha, out, tmp):  # pragma: no cover
+        _bmm_prelu_njit(ops, support, np.float32(alpha), out)
+
+
+class Workspace:
+    """Preallocated scratch buffers, keyed by ``(tag, shape)``.
+
+    Buffers are float32, reused verbatim across forward calls with the
+    same batch geometry (the steady state of every scoring loop), and
+    never zeroed — each user overwrites its buffer fully.  Anything
+    *returned* from a kernel must be a fresh array, never a workspace
+    buffer: callers hold score vectors across micro-batches.
+    """
+
+    def __init__(self):
+        self._buffers = {}
+
+    def get(self, tag, shape) -> np.ndarray:
+        key = (tag, shape)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=np.float32)
+            self._buffers[key] = buffer
+        return buffer
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+def _conv_stack_spec(convs) -> Optional[List[Tuple[np.ndarray, float]]]:
+    """Float32 ``(weight, prelu_alpha)`` snapshot of a conv stack.
+
+    Returns ``None`` when any layer falls outside the fused contract
+    (non-GCN/HGNN conv — e.g. SAGE — a bias term, or a non-PReLU
+    activation): the caller then falls back to the reference forward.
+    """
+    spec = []
+    for conv in convs:
+        if not isinstance(conv, (GCNConv, HGNNConv)):
+            return None
+        if conv.bias is not None:
+            return None
+        if not isinstance(conv.act, PReLU):
+            return None
+        spec.append(
+            (
+                np.ascontiguousarray(conv.weight.data, dtype=np.float32),
+                float(conv.act.alpha.data),
+            )
+        )
+    return spec
+
+
+def _mlp_spec(mlp) -> Optional[List[tuple]]:
+    """Float32 op list (``("linear", w, b)`` / ``("prelu", alpha)``)."""
+    if not isinstance(mlp, MLP):
+        return None
+    spec = []
+    for layer in mlp._layers:
+        if isinstance(layer, Linear):
+            bias = None
+            if layer.bias is not None:
+                bias = np.ascontiguousarray(layer.bias.data, dtype=np.float32)
+            spec.append(
+                (
+                    "linear",
+                    np.ascontiguousarray(layer.weight.data, dtype=np.float32),
+                    bias,
+                )
+            )
+        elif isinstance(layer, PReLU):
+            spec.append(("prelu", float(layer.alpha.data), None))
+        else:
+            return None
+    return spec
+
+
+class CompiledModel:
+    """Float32 weight snapshot of one :class:`Bourne` for fused inference.
+
+    ``supported`` is ``False`` when the model falls outside the fused
+    contract; the snapshot then never runs.  ``sources`` keeps the exact
+    parameter arrays the snapshot was taken from — Adam and the EMA both
+    *rebind* ``param.data`` rather than writing in place, so an identity
+    sweep over the live parameters detects staleness exactly.
+    """
+
+    def __init__(self, model: Bourne):
+        cfg = model.config
+        self.mode = cfg.mode
+        self.alpha = float(cfg.alpha)
+        self.beta = float(cfg.beta)
+        self.feature_mask_prob = float(cfg.feature_mask_prob)
+        self.online_stack = None
+        self.online_mlp = None
+        self.target_stack = None
+        self.supported = False
+        if self.mode in ("unified", "node_only") and not cfg.grad_through_target:
+            self.online_stack = _conv_stack_spec(getattr(model.online, "_convs", ()))
+            self.online_mlp = _mlp_spec(getattr(model.online, "predictor", None))
+            self.target_stack = _conv_stack_spec(getattr(model.target, "_convs", ()))
+            self.supported = (
+                self.online_stack is not None
+                and self.online_mlp is not None
+                and self.target_stack is not None
+            )
+        self.sources = [
+            param.data
+            for param in model.online.parameters() + model.target.parameters()
+        ]
+
+    def stale(self, model: Bourne) -> bool:
+        params = model.online.parameters() + model.target.parameters()
+        if len(params) != len(self.sources):
+            return True
+        return any(
+            param.data is not source for param, source in zip(params, self.sources)
+        )
+
+
+def _cosine_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise cosine similarity with the reference's norm epsilon."""
+    norm_a = np.sqrt(np.einsum("ij,ij->i", a, a)) + _EPS
+    norm_b = np.sqrt(np.einsum("ij,ij->i", b, b)) + _EPS
+    return np.einsum("ij,ij->i", a, b) / (norm_a * norm_b)
+
+
+class FusedInferenceKernel:
+    """Per-model fused forward: compiled weights + shape-keyed workspace."""
+
+    def __init__(self, ops):
+        self.ops = ops
+        self.workspace = Workspace()
+        self.compiled: Optional[CompiledModel] = None
+        self.recompiles = 0
+        self.fallbacks = 0
+        self.forwards = 0
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def refresh(self, model: Bourne) -> CompiledModel:
+        if self.compiled is None or self.compiled.stale(model):
+            self.compiled = CompiledModel(model)
+            self.recompiles += 1
+        return self.compiled
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        model: Bourne,
+        gviews: BatchedGraphViews,
+        hviews: BatchedHypergraphViews,
+        rng=None,
+        mask_seed=None,
+    ) -> Optional[BatchScores]:
+        """Fused scores for one batch, or ``None`` to request fallback.
+
+        The fallback decision is made before any RNG draw, so a
+        degraded call consumes exactly the stream the reference will.
+        """
+        compiled = self.refresh(model)
+        if not compiled.supported:
+            self.fallbacks += 1
+            return None
+        if gviews.operator_stack is None or gviews.batch_size == 0:
+            self.fallbacks += 1
+            return None
+        self.forwards += 1
+        if compiled.mode == "unified":
+            return self._forward_unified(compiled, gviews, hviews)
+        return self._forward_node_only(
+            compiled, gviews, model, rng=rng, mask_seed=mask_seed
+        )
+
+    def _graph_operator(self, gviews: BatchedGraphViews) -> np.ndarray:
+        stack = gviews.operator_stack
+        ops32 = self.workspace.get("graph_ops", stack.shape)
+        np.copyto(ops32, stack, casting="same_kind")
+        return ops32
+
+    def _graph_stack(
+        self, tag: str, spec, ops32: np.ndarray, feats: np.ndarray
+    ) -> np.ndarray:
+        """Run conv layers over the dense operator stack, in place."""
+        current = feats
+        for index, (weight, alpha) in enumerate(spec):
+            shape = current.shape[:2] + (weight.shape[1],)
+            support = self.workspace.get((tag, "support", index), shape)
+            hidden = self.workspace.get((tag, "hidden", index), shape)
+            scratch = self.workspace.get((tag, "scratch", index), shape)
+            np.matmul(current, weight, out=support)
+            self.ops.bmm_prelu(ops32, support, np.float32(alpha), hidden, scratch)
+            current = hidden
+        return current
+
+    def _predictor(self, tag: str, spec, flat: np.ndarray) -> np.ndarray:
+        current = flat
+        for index, (kind, value, bias) in enumerate(spec):
+            if kind == "linear":
+                shape = (current.shape[0], value.shape[1])
+                out = self.workspace.get((tag, "mlp", index), shape)
+                np.matmul(current, value, out=out)
+                if bias is not None:
+                    np.add(out, bias, out=out)
+                current = out
+            else:  # prelu
+                scratch = self.workspace.get((tag, "mlp_tmp", index), current.shape)
+                np.minimum(current, 0.0, out=scratch)
+                np.maximum(current, 0.0, out=current)
+                np.multiply(scratch, np.float32(value), out=scratch)
+                np.add(current, scratch, out=current)
+        return current
+
+    def _online_graph_branch(self, compiled, gviews, feats3):
+        """Conv stack + predictor over the view stack; returns
+        ``(h_t, h_p, h_s)`` readouts (views/workspace rows)."""
+        batch, size, _ = feats3.shape
+        ops32 = self._graph_operator(gviews)
+        hidden = self._graph_stack("online", compiled.online_stack, ops32, feats3)
+        flat = hidden.reshape(batch * size, hidden.shape[2])
+        flat = self._predictor("online", compiled.online_mlp, flat)
+        h3 = flat.reshape(batch, size, flat.shape[1])
+        h_t = h3[:, size - 1]
+        h_p = h3[:, 0]
+        h_s = self.workspace.get("h_s", (batch, h3.shape[2]))
+        np.mean(h3[:, : size - 1], axis=1, out=h_s)
+        return ops32, h_t, h_p, h_s
+
+    def _features3(self, gviews: BatchedGraphViews) -> np.ndarray:
+        batch = gviews.batch_size
+        total, dim = gviews.features.shape
+        size = total // batch
+        feats3 = self.workspace.get("graph_feats", (batch, size, dim))
+        np.copyto(
+            feats3, gviews.features.reshape(batch, size, dim), casting="same_kind"
+        )
+        return feats3
+
+    def _forward_unified(self, compiled, gviews, hviews) -> BatchScores:
+        feats3 = self._features3(gviews)
+        _, h_t, h_p, h_s = self._online_graph_branch(compiled, gviews, feats3)
+
+        # Target branch: HGNN stack over the ragged block-diagonal CSR
+        # operator (float32 copy; row counts vary per batch, so this
+        # branch tolerates scipy's own allocations).
+        operator = hviews.operator.astype(np.float32)
+        z = np.ascontiguousarray(hviews.features, dtype=np.float32)
+        for weight, alpha in compiled.target_stack:
+            z = operator @ np.matmul(z, weight)
+            scratch = np.minimum(z, 0.0)
+            np.maximum(z, 0.0, out=z)
+            np.multiply(scratch, np.float32(alpha), out=scratch)
+            np.add(z, scratch, out=z)
+
+        z_t = z[hviews.zt_rows]
+        z_p = hviews.patch_pool.astype(np.float32) @ z
+        z_s = hviews.context_pool.astype(np.float32) @ z
+        # Degenerate targets (no target edges) fall back to the
+        # subgraph context, mirroring the reference's empty-patch path.
+        empty_patch = np.diff(hviews.patch_pool.indptr) == 0
+        if empty_patch.any():
+            z_p = np.where(empty_patch[:, None], z_s, z_p)
+
+        total = compiled.alpha + compiled.beta
+        node_scores = (
+            total
+            - compiled.alpha * _cosine_rows(h_t, z_p)
+            - compiled.beta * _cosine_rows(h_t, z_s)
+        )
+        if len(hviews.zt_rows):
+            owner = hviews.edge_owner
+            edge_scores = Tensor(
+                total
+                - compiled.alpha * _cosine_rows(z_t, h_p[owner])
+                - compiled.beta * _cosine_rows(z_t, h_s[owner])
+            )
+        else:
+            edge_scores = None
+        return BatchScores(
+            node_scores=Tensor(node_scores),
+            edge_scores=edge_scores,
+            edge_owner=hviews.edge_owner,
+            edge_orig_ids=hviews.edge_orig_ids,
+            node_valid=hviews.has_edges.copy(),
+        )
+
+    def _forward_node_only(
+        self, compiled, gviews, model, rng=None, mask_seed=None
+    ) -> BatchScores:
+        feats3 = self._features3(gviews)
+        batch, size, dim = feats3.shape
+        ops32, h_t, _, _ = self._online_graph_branch(compiled, gviews, feats3)
+
+        # Γ1 forward mask — exactly the draws the reference consumes.
+        if mask_seed is not None:
+            keep = seeded_forward_mask_draws(
+                dim, compiled.feature_mask_prob, mask_seed
+            )
+        else:
+            stream = rng if rng is not None else model.sample_rng
+            keep = forward_mask_draws(dim, compiled.feature_mask_prob, stream)
+        if keep is None:
+            masked = feats3
+        else:
+            masked = self.workspace.get("graph_feats_masked", feats3.shape)
+            np.multiply(feats3, keep[None, None, :], out=masked, casting="same_kind")
+
+        z3 = self._graph_stack("target", compiled.target_stack, ops32, masked)
+        patch_ctx = z3[:, 0]
+        subgraph_ctx = self.workspace.get("z_s", (batch, z3.shape[2]))
+        np.mean(z3[:, : size - 1], axis=1, out=subgraph_ctx)
+
+        node_scores = (
+            (compiled.alpha + compiled.beta)
+            - compiled.alpha * _cosine_rows(h_t, patch_ctx)
+            - compiled.beta * _cosine_rows(h_t, subgraph_ctx)
+        )
+        return BatchScores(
+            node_scores=Tensor(node_scores),
+            edge_scores=None,
+            edge_owner=np.zeros(0, dtype=np.int64),
+            edge_orig_ids=np.zeros(0, dtype=np.int64),
+            node_valid=np.ones(batch, dtype=bool),
+        )
+
+
+class FusedBackend(TensorBackend):
+    """Inference backend running the fused float32 kernels.
+
+    Kernels (compiled weights + workspaces) are cached per model in a
+    weak dictionary, so hot-swapping models never leaks workspaces and
+    an optimizer/EMA step transparently triggers recompilation.
+    """
+
+    name = "fused"
+    jitted = False
+
+    def __init__(self):
+        self._kernels = weakref.WeakKeyDictionary()
+
+    def _make_ops(self):
+        return NumpyKernelOps()
+
+    def kernel_for(self, model: Bourne) -> FusedInferenceKernel:
+        kernel = self._kernels.get(model)
+        if kernel is None:
+            kernel = FusedInferenceKernel(self._make_ops())
+            self._kernels[model] = kernel
+        return kernel
+
+    def forward_batch(self, model, gviews, hviews, rng=None, mask_seed=None):
+        kernel = self.kernel_for(model)
+        scores = kernel.forward(model, gviews, hviews, rng=rng, mask_seed=mask_seed)
+        if scores is None:
+            return model.forward_batch(gviews, hviews, rng=rng, mask_seed=mask_seed)
+        return scores
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["have_numba"] = HAVE_NUMBA
+        return info
+
+
+class NumbaBackend(FusedBackend):
+    """Fused backend with numba-jitted kernels when numba is present.
+
+    Without numba the backend still *works* — it runs the pure-numpy
+    fused ops and reports ``jitted=False`` — so ``--backend numba`` is
+    safe on machines without the optional extra.
+    """
+
+    name = "numba"
+
+    def __init__(self):
+        super().__init__()
+        self.jitted = HAVE_NUMBA
+
+    def _make_ops(self):
+        if HAVE_NUMBA:  # pragma: no cover - exercised in the numba CI job
+            return NumbaKernelOps()
+        return NumpyKernelOps()

@@ -48,6 +48,7 @@ from ..core.scoring import (
 from ..graph.index import index_of
 from ..obs import trace as obs_trace
 from ..serving import service as serving_service
+from ..tensor.backend import resolve_backend
 from .planner import ContiguousShardPlanner, ShardPlanner, validate_plan
 from .shm import (
     SharedGraphExport,
@@ -187,8 +188,9 @@ class WorkerPool:
         else:
             self._model_export.publish(model)
             self._model_version += 1
-        return ModelRef(self._model_token, self._model_version,
-                        self._model_export.spec)
+        return ModelRef(
+            self._model_token, self._model_version, self._model_export.spec
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -208,11 +210,10 @@ class WorkerPool:
             try:
                 results.append(future.result())
             except Exception as error:
-                for pending in futures[index + 1:]:
+                for pending in futures[index + 1 :]:
                     pending.cancel()
                 raise RuntimeError(
-                    f"{label} failed in shard {index} "
-                    f"(of {len(tasks)}): {error}"
+                    f"{label} failed in shard {index} (of {len(tasks)}): {error}"
                 ) from error
         return results
 
@@ -264,8 +265,12 @@ class ShardScore(RoundEvidence):
     spans: List[dict] = field(default_factory=list)
 
 
-def _as_shard_score(evidence: RoundEvidence, start: int, stop: int,
-                    spans: Optional[List[dict]] = None) -> ShardScore:
+def _as_shard_score(
+    evidence: RoundEvidence,
+    start: int,
+    stop: int,
+    spans: Optional[List[dict]] = None,
+) -> ShardScore:
     return ShardScore(
         node_sum=evidence.node_sum,
         node_count=evidence.node_count,
@@ -287,27 +292,38 @@ def _score_shard(task: tuple) -> ShardScore:
     only the batch boundaries are shard-local, which the
     batch-invariant pipeline makes unobservable.
     """
-    graph_ref, model_ref, rest = task[0], task[1], task[2:]
-    start, stop, round_bases, mask_seeds, batch_size, fail, want_spans = rest
+    graph_ref, model_ref = task[0], task[1]
+    (
+        start,
+        stop,
+        round_bases,
+        mask_seeds,
+        batch_size,
+        fail,
+        want_spans,
+        backend_name,
+    ) = task[2:]
     if fail:
-        raise RuntimeError(f"injected failure in shard "
-                           f"[{start}, {stop})")
+        raise RuntimeError(f"injected failure in shard [{start}, {stop})")
     graph = _ensure_graph(graph_ref)
     model = _ensure_model(model_ref)
     model.eval_mode()
 
     def run() -> RoundEvidence:
         return score_target_span(
-            model, np.arange(start, stop, dtype=np.int64),
-            len(round_bases), batch_size,
+            model,
+            np.arange(start, stop, dtype=np.int64),
+            len(round_bases),
+            batch_size,
             offline_view_builder(model, graph, round_bases),
             lambda round_index: {"mask_seed": int(mask_seeds[round_index])},
+            backend=resolve_backend(backend_name),
         )
 
     if want_spans:
-        with obs_trace.capture_spans("parallel.score_shard",
-                                     start=int(start),
-                                     stop=int(stop)) as shipped:
+        with obs_trace.capture_spans(
+            "parallel.score_shard", start=int(start), stop=int(stop)
+        ) as shipped:
             evidence = run()
         return _as_shard_score(evidence, start, stop, spans=shipped)
     with obs_trace.clear_context():
@@ -322,22 +338,35 @@ def _service_score_shard(task: tuple) -> ShardScore:
     (:func:`repro.serving.service.score_service_span`, minus the cache),
     so every score is bitwise what the in-process service would produce.
     """
-    (graph_ref, model_ref, targets, seed, rounds, max_batch, fail,
-     want_spans) = task
+    (
+        graph_ref,
+        model_ref,
+        targets,
+        seed,
+        rounds,
+        max_batch,
+        fail,
+        want_spans,
+        backend_name,
+    ) = task
     if fail:
         raise RuntimeError("injected failure in service shard")
     graph = _ensure_graph(graph_ref)
     model = _ensure_model(model_ref)
     model.eval_mode()
+    backend = resolve_backend(backend_name)
     if want_spans:
-        with obs_trace.capture_spans("parallel.refresh_shard",
-                                     targets=len(targets)) as shipped:
+        with obs_trace.capture_spans(
+            "parallel.refresh_shard", targets=len(targets)
+        ) as shipped:
             evidence = serving_service.score_service_span(
-                model, graph, targets, seed, rounds, max_batch)
+                model, graph, targets, seed, rounds, max_batch, backend=backend
+            )
         return _as_shard_score(evidence, 0, len(targets), spans=shipped)
     with obs_trace.clear_context():
         evidence = serving_service.score_service_span(
-            model, graph, targets, seed, rounds, max_batch)
+            model, graph, targets, seed, rounds, max_batch, backend=backend
+        )
     return _as_shard_score(evidence, 0, len(targets))
 
 
@@ -370,6 +399,7 @@ def score_graph_sharded(
     planner: Optional[ShardPlanner] = None,
     start_method: Optional[str] = None,
     pool: Optional[WorkerPool] = None,
+    backend=None,
     _fail_shard: Optional[int] = None,
 ) -> AnomalyScores:
     """Multi-process counterpart of :func:`repro.core.score_graph`.
@@ -381,13 +411,16 @@ def score_graph_sharded(
     on or off (all inference randomness is counter-based).
 
     ``pool`` reuses an existing :class:`WorkerPool` (it is left open);
-    otherwise an ephemeral pool is created and torn down.
+    otherwise an ephemeral pool is created and torn down.  ``backend``
+    names the tensor backend each worker resolves locally (backends
+    cross the process boundary by name, never by instance).
     ``_fail_shard`` is a test hook: the worker handling that shard
     raises, exercising crash propagation.
     """
     cfg = model.config
     rounds = rounds if rounds is not None else cfg.eval_rounds
     batch_size = batch_size if batch_size is not None else cfg.batch_size
+    backend_name = resolve_backend(backend).name
     _, round_bases, mask_seeds = inference_round_streams(cfg, rounds, seed)
 
     index = index_of(graph)
@@ -414,6 +447,7 @@ def score_graph_sharded(
                     batch_size,
                     shard_index == _fail_shard,
                     want_spans,
+                    backend_name,
                 )
                 for shard_index, (start, stop) in enumerate(plan)
             ]
@@ -471,8 +505,7 @@ def service_refresh_scores(
     want_spans = obs_trace.active()
     try:
         with obs_trace.span("parallel.refresh") as sp:
-            sp.set(shards=len(plan), workers=pool.workers,
-                   targets=len(targets))
+            sp.set(shards=len(plan), workers=pool.workers, targets=len(targets))
             graph_ref = pool.bind_graph(store.features, index)
             model_ref = pool.publish_model(service.model)
             tasks = [
@@ -485,11 +518,11 @@ def service_refresh_scores(
                     service.max_batch,
                     shard_index == _fail_shard,
                     want_spans,
+                    service.backend.name,
                 )
                 for shard_index, (start, stop) in enumerate(plan)
             ]
-            results = pool.run(_service_score_shard, tasks,
-                               label="sharded refresh")
+            results = pool.run(_service_score_shard, tasks, label="sharded refresh")
             for result in results:
                 obs_trace.adopt_spans(result.spans)
     finally:

@@ -183,8 +183,9 @@ class SharedGraphExport:
                 block.unlink()
             raise
         if overlay is not None:
-            spec = SharedGraphSpec(index.num_nodes, specs,
-                                   base_num_nodes=base.num_nodes)
+            spec = SharedGraphSpec(
+                index.num_nodes, specs, base_num_nodes=base.num_nodes
+            )
         else:
             spec = SharedGraphSpec(index.num_nodes, specs)
         return cls(spec, blocks)
@@ -212,8 +213,7 @@ def attach_shared_graph(spec: SharedGraphSpec) -> SharedGraph:
     try:
         features = _attach_array(spec.arrays["features"], blocks)
         index = GraphIndex.from_arrays(
-            spec.base_num_nodes if spec.base_num_nodes is not None
-            else spec.num_nodes,
+            spec.base_num_nodes if spec.base_num_nodes is not None else spec.num_nodes,
             _attach_array(spec.arrays["indptr"], blocks),
             _attach_array(spec.arrays["indices"], blocks),
             _attach_array(spec.arrays["edge_keys"], blocks),
@@ -221,8 +221,10 @@ def attach_shared_graph(spec: SharedGraphSpec) -> SharedGraph:
         )
         if "overlay_edges" in spec.arrays:
             index = OverlayIndex(
-                index, _attach_array(spec.arrays["overlay_edges"], blocks),
-                spec.num_nodes)
+                index,
+                _attach_array(spec.arrays["overlay_edges"], blocks),
+                spec.num_nodes,
+            )
     except Exception:
         for block in blocks:
             block.close()
@@ -269,9 +271,12 @@ class SharedModelExport:
     Adam update).
     """
 
-    def __init__(self, spec: SharedModelSpec,
-                 blocks: List[shared_memory.SharedMemory],
-                 views: Dict[str, np.ndarray]):
+    def __init__(
+        self,
+        spec: SharedModelSpec,
+        blocks: List[shared_memory.SharedMemory],
+        views: Dict[str, np.ndarray],
+    ):
         self.spec = spec
         self._blocks = blocks
         self._views = views
@@ -288,15 +293,17 @@ class SharedModelExport:
                 spec = _export_array(value, blocks)
                 specs[name] = spec
                 if spec.shm_name is not None:
-                    views[name] = np.ndarray(value.shape, dtype=value.dtype,
-                                             buffer=blocks[-1].buf)
+                    views[name] = np.ndarray(
+                        value.shape, dtype=value.dtype, buffer=blocks[-1].buf
+                    )
         except Exception:
             for block in blocks:
                 block.close()
                 block.unlink()
             raise
-        return cls(SharedModelSpec(model.num_features, model.config, specs),
-                   blocks, views)
+        return cls(
+            SharedModelSpec(model.num_features, model.config, specs), blocks, views
+        )
 
     def publish(self, model) -> None:
         """Copy the model's current parameter values into the segments."""
@@ -325,8 +332,12 @@ class AttachedModel:
     change between task waves, so a plain comparison suffices.
     """
 
-    def __init__(self, model, views: Dict[str, np.ndarray],
-                 blocks: List[shared_memory.SharedMemory]):
+    def __init__(
+        self,
+        model,
+        views: Dict[str, np.ndarray],
+        blocks: List[shared_memory.SharedMemory],
+    ):
         self.model = model
         self._views = views
         self._blocks = blocks
@@ -370,9 +381,9 @@ def attach_shared_model(spec: SharedModelSpec) -> AttachedModel:
                 continue
             block = _attach_block(array_spec.shm_name)
             blocks.append(block)
-            view = np.ndarray(array_spec.shape,
-                              dtype=np.dtype(array_spec.dtype),
-                              buffer=block.buf)
+            view = np.ndarray(
+                array_spec.shape, dtype=np.dtype(array_spec.dtype), buffer=block.buf
+            )
             view.flags.writeable = False
             views[name] = view
     except Exception:

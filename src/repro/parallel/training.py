@@ -58,8 +58,7 @@ def _train_shard(task: tuple) -> List[Tuple[float, List[Optional[np.ndarray]]]]:
     model = _ensure_model(model_ref)
     model.train_mode()
     return [
-        train_chunk(model, graph, targets, seeds, node_scale, edge_scale,
-                    mask_seed)
+        train_chunk(model, graph, targets, seeds, node_scale, edge_scale, mask_seed)
         for targets, seeds in chunks
     ]
 
@@ -72,12 +71,17 @@ class ShardedTrainingRunner:
     sharing the pool — replaced the slots in between steps.
     """
 
-    def __init__(self, model: Bourne, graph, workers: int,
-                 shards: Optional[int] = None,
-                 planner: Optional[ShardPlanner] = None,
-                 pool: Optional[WorkerPool] = None,
-                 start_method: Optional[str] = None,
-                 _fail_shard: Optional[int] = None):
+    def __init__(
+        self,
+        model: Bourne,
+        graph,
+        workers: int,
+        shards: Optional[int] = None,
+        planner: Optional[ShardPlanner] = None,
+        pool: Optional[WorkerPool] = None,
+        start_method: Optional[str] = None,
+        _fail_shard: Optional[int] = None,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.model = model
@@ -87,8 +91,9 @@ class ShardedTrainingRunner:
             raise ValueError("shards must be >= 1")
         self.planner = planner if planner is not None else ContiguousShardPlanner()
         self._owns_pool = pool is None
-        self.pool = pool if pool is not None else WorkerPool(
-            self.workers, start_method)
+        self.pool = (
+            pool if pool is not None else WorkerPool(self.workers, start_method)
+        )
         self._fail_shard = _fail_shard
         self._graph = None
         self._graph_ref: Optional[GraphRef] = None
@@ -109,8 +114,11 @@ class ShardedTrainingRunner:
         of silently shipping workers the stale topology.
         """
         index = index_of(graph)
-        if (graph is self._graph and index is self._bound_index
-                and self._graph_ref is self.pool.graph_ref):
+        if (
+            graph is self._graph
+            and index is self._bound_index
+            and self._graph_ref is self.pool.graph_ref
+        ):
             return
         self._graph_ref = self.pool.bind_graph(graph.features, index)
         self._graph = graph
@@ -123,10 +131,15 @@ class ShardedTrainingRunner:
     # ------------------------------------------------------------------
     # Step execution
     # ------------------------------------------------------------------
-    def run_step(self, batch: np.ndarray, target_seeds: np.ndarray,
-                 bounds: List[Tuple[int, int]],
-                 node_scale: Optional[float], edge_scale: Optional[float],
-                 mask_seed: int) -> List[Tuple[float, list]]:
+    def run_step(
+        self,
+        batch: np.ndarray,
+        target_seeds: np.ndarray,
+        bounds: List[Tuple[int, int]],
+        node_scale: Optional[float],
+        edge_scale: Optional[float],
+        mask_seed: int,
+    ) -> List[Tuple[float, list]]:
         """Compute the chunk results of one optimization step.
 
         ``bounds`` are the trainer's fixed accumulation-chunk ranges;
@@ -140,13 +153,13 @@ class ShardedTrainingRunner:
         self.bind(self._graph)
         if self.pool.bound_model is not self.model:
             self.publish()
-        chunks = [(batch[start:stop], target_seeds[start:stop])
-                  for start, stop in bounds]
-        costs = np.array([stop - start for start, stop in bounds],
-                         dtype=np.float64)
+        chunks = [
+            (batch[start:stop], target_seeds[start:stop]) for start, stop in bounds
+        ]
+        costs = np.array([stop - start for start, stop in bounds], dtype=np.float64)
         plan = validate_plan(
-            self.planner.plan(len(chunks), self.shards, costs=costs),
-            len(chunks))
+            self.planner.plan(len(chunks), self.shards, costs=costs), len(chunks)
+        )
         tasks = [
             (
                 self._graph_ref,
@@ -159,8 +172,7 @@ class ShardedTrainingRunner:
             )
             for shard_index, (shard_start, shard_stop) in enumerate(plan)
         ]
-        shard_results = self.pool.run(_train_shard, tasks,
-                                      label="sharded training")
+        shard_results = self.pool.run(_train_shard, tasks, label="sharded training")
         results: List[Tuple[float, list]] = []
         for shard in shard_results:
             results.extend(shard)

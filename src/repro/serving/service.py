@@ -44,6 +44,7 @@ from ..graph.graph import Graph
 from ..graph.index import derive_stream_seed, derive_target_seeds
 from ..graph.sampling import sample_enclosing_subgraphs
 from ..obs import trace as obs_trace
+from ..tensor.backend import resolve_backend
 from .cache import SubgraphCache
 from .store import GraphStore
 
@@ -170,15 +171,17 @@ def batch_round_views(graph_like, chunk: np.ndarray, round_index: int,
 
 
 def score_service_span(model: Bourne, graph_like, targets: np.ndarray,
-                       seed: int, rounds: int,
-                       max_batch: int) -> RoundEvidence:
+                       seed: int, rounds: int, max_batch: int,
+                       backend=None) -> RoundEvidence:
     """Uncached service-stream scoring of one target span.
 
     Runs the same :func:`repro.core.scoring.score_target_span` loop as
     ``ScoringService._score_targets`` with the same per-``(seed, round,
     target)`` view streams and per-round forward streams — the sharded
     refresh workers call this, which is what makes a sharded refresh
-    bitwise-identical to a serial one.
+    bitwise-identical to a serial one.  ``backend`` names the compute
+    backend (workers receive the parent service's backend name and
+    resolve it locally).
     """
     config = model.config
     num_features = graph_like.num_features
@@ -190,6 +193,7 @@ def score_service_span(model: Bourne, graph_like, targets: np.ndarray,
     return score_target_span(
         model, targets, rounds, max_batch, build,
         lambda round_index: {"rng": forward_rng(seed, round_index)},
+        backend=backend,
     )
 
 
@@ -247,6 +251,12 @@ class ScoringService:
         Capacity of the subgraph LRU in ``(target, round)`` entries.
     max_batch:
         Micro-batch cap per forward call (default: model batch size).
+    backend:
+        Compute backend for the forward passes — a registered name
+        (``"numpy"``/``"fused"``/``"numba"``) or a backend instance;
+        ``None`` uses the process default (the bitwise-pinned numpy
+        reference).  Sharded refreshes ship the backend *name* to the
+        worker processes.
     """
 
     def __init__(
@@ -257,6 +267,7 @@ class ScoringService:
         seed: Optional[int] = None,
         cache_size: int = 4096,
         max_batch: Optional[int] = None,
+        backend=None,
     ):
         if isinstance(store, Graph):
             store = GraphStore.from_graph(
@@ -271,6 +282,7 @@ class ScoringService:
         self._explicit_seed = seed is not None
         self.seed = (cfg.seed + _SEED_OFFSET) if seed is None else seed
         self.max_batch = max_batch if max_batch is not None else cfg.batch_size
+        self.backend = resolve_backend(backend)
         self.cache = SubgraphCache(cache_size)
         model.eval_mode()
 
@@ -532,6 +544,7 @@ class ScoringService:
                 self.model, targets, self.rounds, self.max_batch,
                 self._cached_round_views,
                 lambda round_index: {"rng": self._forward_rng(round_index)},
+                backend=self.backend,
             )
         self._forward_batches += evidence.forward_batches
         version = self.store.version
@@ -610,6 +623,7 @@ class ScoringService:
             "edge_evidence_size": len(self._edge_table),
             "refreshes": self._refreshes,
             "model_swaps": self._swaps,
+            "backend": self.backend.name,
             "store_version": self.store.version,
             "store_pending_edges": getattr(self.store, "pending_edges", 0),
             "store_compactions": getattr(self.store, "compactions", 0),

@@ -1,0 +1,305 @@
+"""The tensor-backend seam: registry, fused kernels, tolerance, fallback.
+
+The ``numpy`` backend is the bitwise-pinned reference — the golden
+digests here freeze the default scoring path.  The ``fused`` / ``numba``
+backends are inference-only float32 fast paths that must stay within
+1e-5 relative tolerance of the reference on every score and must fall
+back (bitwise-equal, identical RNG consumption) on anything outside the
+fused contract.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import Bourne, BourneConfig, score_graph
+from repro.graph import Graph
+from repro.nn.fused import (
+    HAVE_NUMBA,
+    FusedBackend,
+    NumbaBackend,
+    NumpyKernelOps,
+)
+from repro.serving import GraphStore, ScoringService
+from repro.tensor.backend import (
+    TensorBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+
+RTOL = 1e-5
+
+
+def small_graph(seed=0, num_nodes=48, num_edges=110):
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        u, v = (int(x) for x in rng.integers(0, num_nodes, 2))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(rng.normal(size=(num_nodes, 6)), np.array(sorted(edges)),
+                 name="backend-test")
+
+
+def tiny_config(**overrides):
+    base = dict(hidden_dim=8, predictor_hidden=16, subgraph_size=4,
+                hop_size=2, eval_rounds=2, batch_size=16, seed=3,
+                augment_at_inference=False)
+    base.update(overrides)
+    return BourneConfig(**base)
+
+
+def digest(values):
+    """BLAS-drift-tolerant fingerprint of a score vector."""
+    return hashlib.sha256(
+        np.round(np.asarray(values, dtype=np.float64), 4).tobytes()
+    ).hexdigest()
+
+
+def assert_close(reference, candidate, rtol=RTOL):
+    reference = np.asarray(reference)
+    candidate = np.asarray(candidate)
+    np.testing.assert_allclose(candidate, reference, rtol=rtol, atol=1e-7)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return small_graph()
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert {"numpy", "fused", "numba"} <= set(names)
+        assert names == tuple(sorted(names))
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown tensor backend"):
+            resolve_backend("no-such-backend")
+
+    def test_default_is_the_numpy_reference(self):
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert backend.describe() == {"name": "numpy", "jitted": False}
+        assert resolve_backend(None) is backend
+
+    def test_resolution_caches_one_instance_per_name(self):
+        assert resolve_backend("fused") is resolve_backend("fused")
+
+    def test_instances_pass_through(self):
+        backend = FusedBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_set_backend_none_restores_reference(self):
+        try:
+            assert set_backend("fused").name == "fused"
+            assert get_backend().name == "fused"
+        finally:
+            assert set_backend(None).name == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_use_backend_scopes_the_switch(self):
+        before = get_backend()
+        with use_backend("fused") as backend:
+            assert backend.name == "fused"
+            assert get_backend() is backend
+        assert get_backend() is before
+
+    def test_custom_backend_registration(self):
+        class Doubling(TensorBackend):
+            name = "test-doubling"
+
+        register_backend("test-doubling", Doubling)
+        assert "test-doubling" in available_backends()
+        assert resolve_backend("test-doubling").name == "test-doubling"
+
+    def test_rejects_unnamed_registration(self):
+        with pytest.raises(ValueError):
+            register_backend("", TensorBackend)
+
+    def test_fused_describe_reports_numba_availability(self):
+        info = resolve_backend("fused").describe()
+        assert info["name"] == "fused"
+        assert info["have_numba"] == HAVE_NUMBA
+
+
+class TestReferencePin:
+    """The default path must stay bitwise what it was before the seam."""
+
+    GOLDEN_NODES = (
+        "29ae5273074e63e21be6cd49cc144c45c60de5e46932b7b2047c178635d4bee9"
+    )
+    GOLDEN_EDGES = (
+        "9dcf8acc95843f873b6c0c0fcbe2178afe38638e5e418c81fadc9b4c701739e1"
+    )
+
+    def test_golden_digests(self, graph):
+        model = Bourne(graph.num_features, tiny_config())
+        scores = score_graph(model, graph)
+        assert digest(scores.node_scores) == self.GOLDEN_NODES
+        assert digest(scores.edge_scores) == self.GOLDEN_EDGES
+
+    def test_explicit_numpy_backend_is_bitwise_default(self, graph):
+        model = Bourne(graph.num_features, tiny_config())
+        default = score_graph(model, graph)
+        explicit = score_graph(model, graph, backend="numpy")
+        assert np.array_equal(default.node_scores, explicit.node_scores)
+        assert np.array_equal(default.edge_scores, explicit.edge_scores)
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("mode,augment", [
+        ("unified", False), ("unified", True),
+        ("node_only", False), ("node_only", True),
+    ])
+    def test_modes_and_augmentation(self, graph, mode, augment):
+        config = tiny_config(mode=mode, augment_at_inference=augment)
+        model = Bourne(graph.num_features, config)
+        reference = score_graph(model, graph)
+        fast = score_graph(model, graph, backend="fused")
+        assert_close(reference.node_scores, fast.node_scores)
+        if reference.edge_scores is not None and len(reference.edge_scores):
+            assert_close(reference.edge_scores, fast.edge_scores)
+
+    @pytest.mark.parametrize("batch_size", [5, 16, 64])
+    def test_batch_size_sweep(self, graph, batch_size):
+        model = Bourne(graph.num_features, tiny_config())
+        reference = score_graph(model, graph, batch_size=batch_size)
+        fast = score_graph(model, graph, batch_size=batch_size,
+                           backend="fused")
+        assert_close(reference.node_scores, fast.node_scores)
+        assert_close(reference.edge_scores, fast.edge_scores)
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_sharded_engine_ships_backend_by_name(self, graph, shards):
+        model = Bourne(graph.num_features, tiny_config())
+        reference = score_graph(model, graph)
+        fast = score_graph(model, graph, workers=2, shards=shards,
+                           backend="fused")
+        assert_close(reference.node_scores, fast.node_scores)
+        assert_close(reference.edge_scores, fast.edge_scores)
+
+    def test_workspace_reuse_does_not_corrupt_held_scores(self, graph):
+        """Scores returned for one micro-batch must survive later
+        micro-batches reusing the kernel workspace (fresh-array rule)."""
+        model = Bourne(graph.num_features, tiny_config())
+        small = score_graph(model, graph, batch_size=7, backend="fused")
+        large = score_graph(model, graph, batch_size=64, backend="fused")
+        assert_close(large.node_scores, small.node_scores, rtol=1e-6)
+        assert_close(large.edge_scores, small.edge_scores, rtol=1e-6)
+
+
+class TestServiceBackend:
+    def test_service_equivalence_and_stats(self, graph):
+        config = tiny_config(augment_at_inference=True)
+        model = Bourne(graph.num_features, config)
+        store = GraphStore.from_graph(graph,
+                                      influence_radius=config.hop_size)
+        reference = ScoringService(model, store, rounds=2)
+        fast = ScoringService(model, store, rounds=2, backend="fused")
+        assert reference.stats()["backend"] == "numpy"
+        assert fast.stats()["backend"] == "fused"
+        nodes = list(range(12))
+        assert_close(reference.score_nodes(nodes), fast.score_nodes(nodes))
+
+    def test_service_accepts_backend_instance(self, graph):
+        config = tiny_config()
+        model = Bourne(graph.num_features, config)
+        store = GraphStore.from_graph(graph,
+                                      influence_radius=config.hop_size)
+        backend = FusedBackend()
+        service = ScoringService(model, store, rounds=2, backend=backend)
+        assert service.backend is backend
+
+
+class TestFallbacks:
+    def fused_kernel(self, backend, model):
+        return backend.kernel_for(model)
+
+    @pytest.mark.parametrize("config_kwargs", [
+        dict(mode="edge_only"),
+        dict(mode="node_only", backbone="sage"),
+        dict(grad_through_target=True),
+    ])
+    def test_unsupported_models_fall_back_bitwise(self, graph, config_kwargs):
+        model = Bourne(graph.num_features, tiny_config(**config_kwargs))
+        reference = score_graph(model, graph)
+        backend = FusedBackend()
+        fast = score_graph(model, graph, backend=backend)
+        assert np.array_equal(np.asarray(reference.node_scores, dtype=float),
+                              np.asarray(fast.node_scores, dtype=float))
+        kernel = self.fused_kernel(backend, model)
+        assert kernel.fallbacks > 0
+        assert kernel.forwards == 0
+
+    def test_supported_model_runs_fused_not_fallback(self, graph):
+        model = Bourne(graph.num_features, tiny_config())
+        backend = FusedBackend()
+        score_graph(model, graph, backend=backend)
+        kernel = self.fused_kernel(backend, model)
+        assert kernel.forwards > 0
+        assert kernel.fallbacks == 0
+
+    def test_weight_rebind_triggers_recompile(self, graph):
+        model = Bourne(graph.num_features, tiny_config())
+        backend = FusedBackend()
+        score_graph(model, graph, backend=backend)
+        kernel = self.fused_kernel(backend, model)
+        assert kernel.recompiles == 1
+
+        # Adam/EMA rebind param.data rather than writing in place; the
+        # kernel must notice and recompile onto the new weights.
+        for param in model.online.parameters():
+            param.data = param.data * 1.01
+        reference = score_graph(model, graph)
+        fast = score_graph(model, graph, backend=backend)
+        assert kernel.recompiles == 2
+        assert_close(reference.node_scores, fast.node_scores)
+
+    def test_numba_backend_degrades_without_numba(self):
+        backend = NumbaBackend()
+        assert backend.name == "numba"
+        if not HAVE_NUMBA:
+            assert backend.jitted is False
+            assert isinstance(backend._make_ops(), NumpyKernelOps)
+        info = backend.describe()
+        assert info["have_numba"] == HAVE_NUMBA
+        assert info["jitted"] == backend.jitted
+
+    def test_degraded_numba_backend_still_scores(self, graph):
+        model = Bourne(graph.num_features, tiny_config())
+        reference = score_graph(model, graph)
+        fast = score_graph(model, graph, backend="numba")
+        assert_close(reference.node_scores, fast.node_scores)
+        assert_close(reference.edge_scores, fast.edge_scores)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed "
+                    "(the optional-deps CI job exercises this)")
+class TestNumbaJitted:
+    def test_jitted_flag_reports_live_compilation(self):
+        backend = resolve_backend("numba")
+        assert backend.jitted is True
+        assert backend.describe()["jitted"] is True
+
+    @pytest.mark.parametrize("mode", ["unified", "node_only"])
+    def test_jitted_equivalence(self, graph, mode):
+        model = Bourne(graph.num_features, tiny_config(mode=mode))
+        reference = score_graph(model, graph)
+        fast = score_graph(model, graph, backend="numba")
+        assert_close(reference.node_scores, fast.node_scores)
+        if reference.edge_scores is not None and len(reference.edge_scores):
+            assert_close(reference.edge_scores, fast.edge_scores)
+
+    def test_jitted_sharded_equivalence(self, graph):
+        model = Bourne(graph.num_features, tiny_config())
+        reference = score_graph(model, graph)
+        fast = score_graph(model, graph, workers=2, shards=3,
+                           backend="numba")
+        assert_close(reference.node_scores, fast.node_scores)
+        assert_close(reference.edge_scores, fast.edge_scores)

@@ -104,3 +104,67 @@ class TestGate:
         base = write(tmp_path / "b.json", {"x_speedup": 1.0})
         with pytest.raises(SystemExit):
             check_bench.main([f"--pair={base}={base}", "--tolerance=1.5"])
+
+
+class TestBaselineDirDiscovery:
+    def test_discovers_and_pairs_by_basename(self, check_bench, tmp_path):
+        baselines = tmp_path / "baselines"
+        fresh = tmp_path / "fresh"
+        baselines.mkdir()
+        fresh.mkdir()
+        write(baselines / "BENCH_a.json", {"x_speedup": 2.0})
+        write(baselines / "BENCH_b.json", {"y_speedup": 3.0})
+        write(fresh / "BENCH_a.json", {"x_speedup": 2.1})
+        write(fresh / "BENCH_b.json", {"y_speedup": 2.9})
+        assert check_bench.main([f"--baseline-dir={baselines}",
+                                 f"--fresh-dir={fresh}"]) == 0
+
+    def test_missing_fresh_report_fails_the_gate(self, check_bench, tmp_path):
+        baselines = tmp_path / "baselines"
+        fresh = tmp_path / "fresh"
+        baselines.mkdir()
+        fresh.mkdir()
+        write(baselines / "BENCH_a.json", {"x_speedup": 2.0})
+        assert check_bench.main([f"--baseline-dir={baselines}",
+                                 f"--fresh-dir={fresh}"]) == 1
+
+    def test_regression_in_any_discovered_pair_fails(self, check_bench,
+                                                     tmp_path):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        write(baselines / "BENCH_a.json", {"x_speedup": 2.0})
+        write(baselines / "BENCH_b.json", {"y_speedup": 4.0})
+        write(tmp_path / "BENCH_a.json", {"x_speedup": 2.0})
+        write(tmp_path / "BENCH_b.json", {"y_speedup": 1.0})
+        assert check_bench.main([f"--baseline-dir={baselines}",
+                                 f"--fresh-dir={tmp_path}"]) == 1
+
+    def test_only_bench_prefixed_files_are_discovered(self, check_bench,
+                                                      tmp_path):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        write(baselines / "BENCH_a.json", {"x_speedup": 2.0})
+        write(baselines / "notes.json", {"x_speedup": 99.0})
+        pairs = check_bench.discover_pairs(str(baselines), str(tmp_path))
+        assert [os.path.basename(b) for b, _ in pairs] == ["BENCH_a.json"]
+
+    def test_empty_baseline_dir_is_an_error(self, check_bench, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            check_bench.main([f"--baseline-dir={empty}"])
+
+    def test_pairs_and_discovery_compose(self, check_bench, tmp_path):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        write(baselines / "BENCH_a.json", {"x_speedup": 2.0})
+        write(tmp_path / "BENCH_a.json", {"x_speedup": 2.0})
+        extra_b = write(tmp_path / "eb.json", {"z_speedup": 1.0})
+        extra_f = write(tmp_path / "ef.json", {"z_speedup": 1.0})
+        assert check_bench.main([f"--pair={extra_b}={extra_f}",
+                                 f"--baseline-dir={baselines}",
+                                 f"--fresh-dir={tmp_path}"]) == 0
+
+    def test_no_pair_sources_is_an_error(self, check_bench):
+        with pytest.raises(SystemExit):
+            check_bench.main([])
