@@ -6,8 +6,12 @@ source, ephemeral port), then exercises the full surface over real
 sockets: concurrent NDJSON scoring, mutations, HTTP endpoints
 (``/healthz``, ``/metrics``, ``/v1/score_node``, ``/v1/score_edge``,
 ``/v1/update``), a zero-downtime hot-swap via ``/v1/reload``, and a
-graceful SIGINT shutdown.  Exits non-zero on the first failed check —
-the CI gateway-smoke job runs this against every push.
+graceful SIGINT shutdown.  A second boot exercises the routing layer:
+``--replicas 3 --tenants`` brings up a replica pool plus two lazy
+tenants, drives mixed traffic across all of them, SIGKILLs one replica
+mid-run (traffic must survive, scores must stay bitwise-stable), and
+attaches/detaches a service under load.  Exits non-zero on the first
+failed check — the CI gateway-smoke job runs this against every push.
 """
 
 import asyncio
@@ -194,6 +198,124 @@ async def drive(host, port, registry_dir, model_v2):
           "healthz reports new version")
 
 
+async def drive_router(host, port, registry_dir):
+    print("tenant routing...")
+    status, body = await http_request(host, port, "GET", "/healthz")
+    payload = json.loads(body)
+    check(status == 200 and payload["status"] == "serving",
+          "router server serving")
+    check(set(payload["lazy_services"]) == {"tenant-a", "tenant-b"},
+          "tenants registered lazily, not booted")
+
+    jobs = []
+    for n in range(6):
+        for service in ("tenant-a", "tenant-b", None):
+            request = {"op": "score", "nodes": [n]}
+            if service:
+                request["service"] = service
+            jobs.append(ndjson_session(host, port, [request]))
+    responses = [r for batch in await asyncio.gather(*jobs) for r in batch]
+    check(all(r["ok"] for r in responses),
+          "mixed traffic across two tenants + default answered")
+
+    status, body = await http_request(host, port, "POST",
+                                      "/v1/t/tenant-a/score_node",
+                                      {"node": 1})
+    check(status == 200 and json.loads(body)["ok"],
+          "/v1/t/<tenant>/ path prefix routes")
+    status, body = await http_request(host, port, "GET", "/v1/services")
+    names = [s["service"] for s in json.loads(body)["services"]]
+    check({"default", "tenant-a", "tenant-b"} <= set(names),
+          "tenants booted on first use, listed in /v1/services")
+
+    print("replica pool failover (SIGKILL mid-run)...")
+    stats = (await ndjson_session(host, port,
+                                  [{"op": "stats"}]))[0]["stats"]
+    pool = stats["replica_pool"]
+    check(pool["replicas"] == 3 and pool["healthy"] == 3,
+          "default service runs a 3-replica pool")
+    baseline = (await ndjson_session(
+        host, port, [{"op": "score", "nodes": [5]}]))[0]
+    hammer = [asyncio.ensure_future(
+        ndjson_session(host, port, [{"op": "score", "nodes": [n % 20]}]))
+        for n in range(24)]
+    os.kill(pool["pids"][0], signal.SIGKILL)
+    results = [r for batch in await asyncio.gather(*hammer) for r in batch]
+    check(all(r["ok"] for r in results),
+          "24 in-flight scores survived a replica SIGKILL")
+    after = await ndjson_session(host, port, [
+        {"op": "score", "nodes": [5]}, {"op": "stats"}])
+    check(after[0]["scores"]["5"] == baseline["scores"]["5"],
+          "scores bitwise-stable across failover")
+    pool = after[1]["stats"]["replica_pool"]
+    check(pool["healthy"] == 2 and pool["failovers"] >= 1,
+          f"pool degraded cleanly (healthy={pool['healthy']}, "
+          f"failovers={pool['failovers']})")
+
+    print("live attach/detach...")
+    attach = await ndjson_session(host, port, [
+        {"op": "attach_service", "name": "hot",
+         "spec": {"registry": registry_dir, "model_name": "smoke",
+                  "dataset": DATASET, "scale": SCALE, "seed": 9,
+                  "rounds": 1}}])
+    check(attach[0]["ok"] and attach[0].get("attached"),
+          "attach_service booted a new service under live traffic")
+    hot = await ndjson_session(host, port, [
+        {"op": "score", "nodes": [0], "service": "hot"}])
+    check(hot[0]["ok"], "attached service scores")
+    detach = await ndjson_session(host, port, [
+        {"op": "detach_service", "name": "hot"}])
+    check(detach[0]["ok"], "detach_service removed it")
+    gone = await ndjson_session(host, port, [
+        {"op": "score", "nodes": [0], "service": "hot"}])
+    check(gone[0]["ok"] is False and gone[0]["code"] == 400,
+          "detached service no longer routable")
+
+
+def router_phase(tmp, registry_dir, env):
+    spec_path = os.path.join(tmp, "tenants.json")
+    with open(spec_path, "w") as handle:
+        json.dump({"tenants": [
+            {"name": "tenant-a", "registry": registry_dir,
+             "model_name": "smoke", "dataset": DATASET, "scale": SCALE,
+             "seed": 0, "rounds": 1},
+            {"name": "tenant-b", "registry": registry_dir,
+             "model_name": "smoke", "dataset": DATASET, "scale": SCALE,
+             "seed": 5, "rounds": 1},
+        ]}, handle)
+    print("\nbooting: python -m repro serve --replicas 3 --tenants ...")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--registry", registry_dir, "--name", "smoke",
+         "--dataset", DATASET, "--scale", str(SCALE), "--rounds", "1",
+         "--listen", "127.0.0.1:0", "--max-batch", "8",
+         "--max-delay-ms", "5", "--max-queue", "64",
+         "--replicas", "3", "--tenants", spec_path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+    try:
+        ready = json.loads(process.stdout.readline())
+        check(ready["op"] == "ready", "router server announced readiness")
+        check(ready["lazy_services"] == ["tenant-a", "tenant-b"],
+              "readiness lists lazy tenants")
+        host, port = ready["listen"].rsplit(":", 1)
+        asyncio.run(drive_router(host, int(port), registry_dir))
+
+        print("graceful shutdown (SIGINT)...")
+        process.send_signal(signal.SIGINT)
+        code = process.wait(timeout=30)
+        check(code == 0, f"clean exit (code {code})")
+    except Exception:
+        process.kill()
+        _, stderr = process.communicate(timeout=10)
+        print("--- router server stderr ---", file=sys.stderr)
+        print(stderr, file=sys.stderr)
+        raise
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
 def main() -> int:
     graph = normalize_graph(load_benchmark(DATASET, seed=0, scale=SCALE))
     config = BourneConfig(hidden_dim=16, predictor_hidden=32, subgraph_size=4,
@@ -242,6 +364,8 @@ def main() -> int:
             if process.poll() is None:
                 process.kill()
                 process.wait(timeout=10)
+
+        router_phase(tmp, registry_dir, env)
     print("\ngateway smoke test PASSED")
     return 0
 

@@ -92,9 +92,29 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="serve scores for a mutable graph over JSONL requests")
     _add_common(serve)
-    source = serve.add_mutually_exclusive_group(required=True)
+    source = serve.add_mutually_exclusive_group()
     source.add_argument("--model", help="checkpoint from `train --save`")
     source.add_argument("--registry", help="model registry root directory")
+    serve.add_argument("--tenants", metavar="SPEC.json", default=None,
+                       help="multi-tenant mode: boot one store per tenant "
+                            "from a JSON spec file (a list of tenant "
+                            "objects, or {\"tenants\": [...]}); tenants "
+                            "boot lazily on first request; requires "
+                            "--listen; combinable with --model/--registry "
+                            "for a default service")
+    serve.add_argument("--idle-ttl", type=float, default=None,
+                       help="evict tenants idle this many seconds (their "
+                            "specs stay registered, so the next request "
+                            "reboots them; with --tenants)")
+    serve.add_argument("--eager-tenants", action="store_true",
+                       help="boot every tenant at startup instead of "
+                            "lazily on first request (with --tenants)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="replica processes for the default service; "
+                            ">1 shares the graph read-only via shared "
+                            "memory, dispatches reads to the least-loaded "
+                            "replica, and fans mutations in through a "
+                            "single writer (with --listen)")
     serve.add_argument("--name", help="registry model name (with --registry)")
     serve.add_argument("--model-version", type=int, default=None,
                        help="registry version (default: latest)")
@@ -309,30 +329,51 @@ def _cmd_serve(args) -> int:
     from .eval import normalize_graph
     from .serving import GraphStore, ModelRegistry, ScoringService
 
+    if not (args.model or args.registry or args.tenants):
+        raise SystemExit("serve needs a model source: --model, --registry, "
+                         "or --tenants")
+    if args.tenants and not args.listen:
+        raise SystemExit("--tenants requires --listen (tenant routing is a "
+                         "gateway feature)")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    if args.replicas > 1 and not args.listen:
+        raise SystemExit("--replicas requires --listen")
+
+    tenants = None
+    if args.tenants:
+        from .gateway import load_tenant_specs
+
+        tenants = load_tenant_specs(args.tenants)
+
     registry = None
     model_version = None
-    if args.registry:
-        if not args.name:
-            raise SystemExit("--registry requires --name")
-        registry = ModelRegistry(args.registry)
-        model_version = (args.model_version if args.model_version is not None
-                         else registry.latest(args.name))
-        model = registry.load(args.name, model_version)
-    else:
-        model = load_model(args.model)
-    graph = normalize_graph(load_benchmark(args.dataset, seed=args.seed,
-                                           scale=args.scale))
-    if model.num_features != graph.num_features:
-        raise SystemExit(
-            f"checkpoint expects {model.num_features} features but "
-            f"{args.dataset}@{args.scale} has {graph.num_features}; "
-            "match --dataset/--scale/--seed with the training run")
-    store = GraphStore.from_graph(
-        graph, influence_radius=model.config.hop_size,
-        compact_threshold=(None if args.compact_threshold < 0
-                           else args.compact_threshold))
-    service = ScoringService(model, store, rounds=args.rounds,
-                             cache_size=args.cache_size, backend=args.backend)
+    service = None
+    if args.model or args.registry:
+        if args.registry:
+            if not args.name:
+                raise SystemExit("--registry requires --name")
+            registry = ModelRegistry(args.registry)
+            model_version = (args.model_version
+                             if args.model_version is not None
+                             else registry.latest(args.name))
+            model = registry.load(args.name, model_version)
+        else:
+            model = load_model(args.model)
+        graph = normalize_graph(load_benchmark(args.dataset, seed=args.seed,
+                                               scale=args.scale))
+        if model.num_features != graph.num_features:
+            raise SystemExit(
+                f"checkpoint expects {model.num_features} features but "
+                f"{args.dataset}@{args.scale} has {graph.num_features}; "
+                "match --dataset/--scale/--seed with the training run")
+        store = GraphStore.from_graph(
+            graph, influence_radius=model.config.hop_size,
+            compact_threshold=(None if args.compact_threshold < 0
+                               else args.compact_threshold))
+        service = ScoringService(model, store, rounds=args.rounds,
+                                 cache_size=args.cache_size,
+                                 backend=args.backend)
 
     if args.listen:
         import asyncio
@@ -351,6 +392,9 @@ def _cmd_serve(args) -> int:
                 max_queue=args.max_queue, rate=args.rate_limit,
                 burst=args.burst, refresh_workers=args.workers,
                 poll_interval=args.poll_interval,
+                replicas=args.replicas, tenants=tenants,
+                idle_ttl=args.idle_ttl,
+                lazy_tenants=not args.eager_tenants,
                 tracing=not args.no_trace,
                 trace_slow_ms=args.trace_slow_ms,
             ))

@@ -77,6 +77,7 @@ class AdmissionController:
         self._clock = clock
         self._buckets: Dict[str, TokenBucket] = {}
         self._inflight = 0
+        self._service_inflight: Dict[str, int] = {}
         self._draining = False
         self._drained: Optional[asyncio.Event] = None
         self.admitted = 0
@@ -92,11 +93,15 @@ class AdmissionController:
     def draining(self) -> bool:
         return self._draining
 
-    def admit(self, client: str) -> Optional[str]:
+    def admit(self, client: str,
+              service: Optional[str] = None) -> Optional[str]:
         """Try to admit one request from ``client``.
 
         Returns ``None`` on success (pair with exactly one
-        :meth:`release`) or the rejection reason.
+        :meth:`release` carrying the same ``service``) or the rejection
+        reason.  ``service`` labels the request with the routed service
+        name so per-service in-flight counts stay queryable
+        (:meth:`inflight_for` — the router's idle-eviction guard).
         """
         if self._draining:
             self.shed[DRAINING] += 1
@@ -113,16 +118,29 @@ class AdmissionController:
                 self.shed[RATE_LIMITED] += 1
                 return RATE_LIMITED
         self._inflight += 1
+        if service is not None:
+            self._service_inflight[service] = \
+                self._service_inflight.get(service, 0) + 1
         self.admitted += 1
         return None
 
-    def release(self) -> None:
+    def release(self, service: Optional[str] = None) -> None:
         """Mark one admitted request as finished."""
         if self._inflight <= 0:
             raise RuntimeError("release() without a matching admit()")
         self._inflight -= 1
+        if service is not None:
+            count = self._service_inflight.get(service, 0) - 1
+            if count > 0:
+                self._service_inflight[service] = count
+            else:
+                self._service_inflight.pop(service, None)
         if self._draining and self._inflight == 0 and self._drained is not None:
             self._drained.set()
+
+    def inflight_for(self, service: str) -> int:
+        """In-flight requests currently labelled with ``service``."""
+        return self._service_inflight.get(service, 0)
 
     def forget_client(self, client: str) -> None:
         """Drop a disconnected client's rate-limit state."""
@@ -166,4 +184,5 @@ class AdmissionController:
             "shed_rate_limited": self.shed[RATE_LIMITED],
             "shed_draining": self.shed[DRAINING],
             "clients": len(self._buckets),
+            "service_inflight": dict(self._service_inflight),
         }

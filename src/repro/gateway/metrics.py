@@ -5,6 +5,8 @@ promoted out of the gateway so serving, graph, parallel, and core code
 can record into one process-wide registry
 (:data:`repro.obs.metrics.GLOBAL_REGISTRY`).  Existing imports from
 ``repro.gateway.metrics`` keep working through this re-export.
+``MetricsRegistry.unregister`` exists for the router: a detached
+service's presence gauge must disappear from ``/metrics`` with it.
 """
 
 from ..obs.metrics import (  # noqa: F401

@@ -15,8 +15,10 @@ HTTP adapter.  A request is a JSON object with an ``op`` field::
 
 Responses echo ``op`` (and ``id`` when the request carried one, so
 pipelining clients can correlate) and set ``ok``.  Errors come back as
-``{"ok": false, "error": ..., "error_type": ...}`` — a bad request must
-never take a server down, whichever transport delivered it.
+``{"ok": false, "error": ..., "error_type": ..., "code": ...}`` — the
+same envelope on every transport (``code`` doubles as the HTTP status
+when the request arrived over the HTTP adapter) — and a bad request
+must never take a server down, whichever transport delivered it.
 """
 
 from __future__ import annotations
@@ -38,6 +40,22 @@ REQUEST_ERRORS = (ValueError, KeyError, IndexError, TypeError,
 UPDATE_OPS = frozenset({"add_node", "add_edge", "update_features",
                         "refresh", "compact"})
 
+#: HTTP status by handler error type — the transport-parity contract.
+#: Every error envelope carries the matching ``code`` whether it went
+#: out over NDJSON or HTTP, so clients switch transports without
+#: changing their error handling.  ``KeyError`` maps to 400 (it means a
+#: missing request field or an absent edge — a client-side problem),
+#: ``IndexError`` to 404 (a node id outside the store), and worker or
+#: shared-memory failures to 500.
+ERROR_CODES = {
+    "ValueError": 400,
+    "TypeError": 400,
+    "KeyError": 400,
+    "IndexError": 404,
+    "RuntimeError": 500,
+    "OSError": 500,
+}
+
 
 def parse_request(line: str) -> dict:
     """Parse one JSONL request line; raises ``ValueError`` with a
@@ -55,14 +73,32 @@ def parse_request(line: str) -> dict:
 def error_response(error: BaseException,
                    request: Optional[dict] = None) -> dict:
     """Structured error envelope (echoes the request's op/id)."""
-    response = {"ok": False, "error": str(error),
-                "error_type": type(error).__name__}
+    name = type(error).__name__
+    response = {"ok": False, "error": str(error), "error_type": name,
+                "code": ERROR_CODES.get(name, 400)}
     if isinstance(request, dict):
         if "op" in request:
             response["op"] = request["op"]
         if "id" in request:
             response["id"] = request["id"]
     return response
+
+
+def rejection_response(reason: str, code: int) -> dict:
+    """Admission-rejection envelope: same shape as every other error
+    (``error_type`` is ``AdmissionRejected``) plus the machine-readable
+    ``reason`` clients key their backoff on."""
+    return {"ok": False, "error": f"request rejected: {reason}",
+            "error_type": "AdmissionRejected", "reason": reason,
+            "code": int(code)}
+
+
+def transport_error(message: str, error_type: str, code: int) -> dict:
+    """Envelope for transport-level failures (no route, bad method,
+    oversized body) that never reach a request handler — kept in the
+    standard shape so HTTP clients parse exactly one error schema."""
+    return {"ok": False, "error": message, "error_type": error_type,
+            "code": int(code)}
 
 
 def attach_request_id(response: dict, request) -> dict:

@@ -1,0 +1,783 @@
+"""Routing layer: named services, replica pools, tenant stores.
+
+The PR 5 gateway fronted exactly one
+:class:`~repro.serving.service.ScoringService`.  This module is the
+seam between the transports and the services that lifts that limit:
+
+* **Named services** — a :class:`ServiceRouter` maps route keys (the
+  NDJSON ``"service"`` field, the HTTP path prefix ``/v1/t/<name>/...``
+  or the ``X-Repro-Service`` header) to independent
+  :class:`ServiceEndpoint` instances, each with its own store, model,
+  and backend.  Services attach at boot, through ``serve --tenants``,
+  or dynamically via the ``{"op": "attach_service"}`` admin op.
+* **Replica pools** — :class:`ReplicaPool` runs N batcher-wrapped
+  replicas of one service.  The graph lives in POSIX shared memory once
+  (:mod:`repro.parallel.shm` ships base + overlay), every replica's
+  worker process attaches it read-only, and reads go to the
+  least-loaded healthy replica.  Mutations fan in through a single
+  writer: the pool closes its read gate, drains in-flight scores,
+  applies the mutation on the primary service's scoring thread, resyncs
+  shared memory, and reopens — so mutation ordering is exactly the
+  single-service gateway's, and every score is bitwise what the
+  in-process service returns (the replica workers run
+  :func:`~repro.serving.service.score_service_span` /
+  :func:`~repro.serving.service.score_edge_span`, the same
+  counter-based streams the service itself uses).
+* **Tenant mode** — :class:`TenantSpec` describes how to build a
+  tenant's store + model; the router boots specs lazily on first
+  request and evicts idle spec-backed endpoints (they rebuild on the
+  next request), which is the many-medium-graphs shape the ROADMAP
+  aims at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import re
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..obs import trace as obs_trace
+from ..parallel import engine as parallel_engine
+from ..parallel.shm import SharedGraphExport, SharedModelExport
+from ..serving.service import score_edge_span, score_service_span
+from ..tensor.backend import resolve_backend
+from ..utils.logging import get_logger, log_event
+from .batcher import MicroBatcher
+from .metrics import MetricsRegistry
+from .protocol import dispatch_request
+
+LOGGER = get_logger("repro.gateway", json_format=True)
+
+#: Route key of the gateway's default (unnamed) service.
+DEFAULT_SERVICE = "default"
+
+#: Ops that change the store and therefore require the replica pool's
+#: single-writer quiesce + shared-memory resync.  ``refresh`` and
+#: ``stats`` only touch the primary's score tables, which replicas do
+#: not share, so they run on the writer thread without a quiesce.
+MUTATING_OPS = frozenset({"add_node", "add_edge", "update_features",
+                          "compact"})
+
+_METRIC_SAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# ----------------------------------------------------------------------
+# Replica worker side (runs in the replica's process)
+# ----------------------------------------------------------------------
+def _replica_pid(_task=None) -> int:
+    """Warm-up task: forces the worker process to spawn, returns its
+    pid (exposed in stats so operators — and the failover tests — can
+    target a specific replica)."""
+    import os
+
+    return os.getpid()
+
+
+def _replica_task(task: tuple):
+    """Score one batch of nodes or one edge on the shared graph.
+
+    The task carries the pool's current graph/model refs (attached and
+    cached worker-side by token, exactly like the sharded refresh
+    workers) plus the serving stream parameters; scoring runs the same
+    pure span functions the in-process service runs, so the answer is
+    bitwise identical to the single-service gateway.
+    """
+    (graph_ref, model_ref, kind, payload,
+     seed, rounds, max_batch, backend_name) = task
+    graph = parallel_engine._ensure_graph(graph_ref)
+    model = parallel_engine._ensure_model(model_ref)
+    model.eval_mode()
+    backend = resolve_backend(backend_name)
+    with obs_trace.clear_context():
+        if kind == "nodes":
+            targets = np.asarray(payload, dtype=np.int64)
+            evidence = score_service_span(
+                model, graph, targets, seed, rounds, max_batch,
+                backend=backend)
+            return [float(s) for s in evidence.node_sum / rounds]
+        u, v, edge_id = payload
+        mean, _imputed = score_edge_span(
+            model, graph, u, v, edge_id, seed, rounds, max_batch,
+            backend=backend)
+        return float(mean)
+
+
+class _ReplicaProxy:
+    """Duck-types the slice of ``ScoringService`` a ``MicroBatcher``
+    drives (``store`` for validation, ``score_nodes``/``score_edge``),
+    forwarding the scoring to one replica's worker process.
+
+    Runs on the replica batcher's scoring thread; every call happens
+    inside a read slot the pool's write gate has admitted, so reading
+    the primary store (edge lookups, seed/rounds) never races a
+    mutation.
+    """
+
+    def __init__(self, pool: "ReplicaPool", replica: "_Replica"):
+        self._pool = pool
+        self._replica = replica
+
+    @property
+    def store(self):
+        return self._pool.service.store
+
+    def _run(self, kind: str, payload) -> object:
+        pool = self._pool
+        service = pool.service
+        task = (pool._graph_ref, pool._model_ref, kind, payload,
+                service.seed, service.rounds, service.max_batch,
+                service.backend.name)
+        self._replica.dispatched += 1
+        return self._replica.executor.submit(_replica_task, task).result()
+
+    def score_nodes(self, nodes) -> List[float]:
+        return self._run("nodes", [int(n) for n in nodes])
+
+    def score_edge(self, u: int, v: int) -> float:
+        store = self._pool.service.store
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        if not store.has_edge(*key):
+            raise KeyError(f"edge {key} not in store")
+        return self._run("edge", (key[0], key[1], int(store.edge_id(*key))))
+
+
+class _Replica:
+    """Parent-side handle for one replica: a single-process executor,
+    its micro-batcher, and the load/health bookkeeping."""
+
+    __slots__ = ("index", "executor", "batcher", "pid", "healthy",
+                 "inflight", "dispatched")
+
+    def __init__(self, index: int, executor: ProcessPoolExecutor):
+        self.index = index
+        self.executor = executor
+        self.batcher: Optional[MicroBatcher] = None
+        self.pid: Optional[int] = None
+        self.healthy = True
+        self.inflight = 0
+        self.dispatched = 0
+
+
+# ----------------------------------------------------------------------
+# Endpoints
+# ----------------------------------------------------------------------
+class ServiceEndpoint:
+    """One named service behind the router — the single-batcher path.
+
+    With ``replicas == 1`` this is exactly the PR 5 gateway wiring: one
+    :class:`MicroBatcher` owning all service access on one scoring
+    thread.  :class:`ReplicaPool` subclasses it for the fan-out path.
+    """
+
+    replicas = 1
+
+    def __init__(self, name: str, service, *, max_batch: int = 32,
+                 max_delay_ms: float = 2.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 registry=None, model_name: Optional[str] = None,
+                 model_version: Optional[int] = None):
+        self.name = name
+        self.service = service
+        self.registry = registry
+        self.model_name = model_name
+        self.served_version = model_version
+        self.batcher = MicroBatcher(service, max_batch=max_batch,
+                                    max_delay_ms=max_delay_ms,
+                                    metrics=metrics)
+        self.spec: Optional["TenantSpec"] = None
+        self.last_used = time.monotonic()
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        await self.batcher.start()
+
+    async def stop(self) -> None:
+        await self.batcher.stop()
+
+    # -- request surface ----------------------------------------------
+    async def score_node(self, node: int) -> float:
+        return await self.batcher.score_node(node)
+
+    async def score_edge(self, u: int, v: int) -> float:
+        return await self.batcher.score_edge(u, v)
+
+    async def run_op(self, request: dict,
+                     refresh_workers: Optional[int] = None) -> dict:
+        """Mutations / stats / refresh, serialized on the scoring
+        thread FIFO with forward batches."""
+        return await self.batcher.submit(
+            dispatch_request, self.service, request, refresh_workers)
+
+    async def submit(self, fn, *args):
+        return await self.batcher.submit(fn, *args)
+
+    async def swap_model(self, model) -> None:
+        await self.batcher.swap_model(model)
+
+    # -- introspection -------------------------------------------------
+    def describe(self) -> dict:
+        store = self.service.store
+        return {"service": self.name, "replicas": self.replicas,
+                "backend": self.service.backend.name,
+                "num_nodes": store.num_nodes,
+                "num_edges": store.num_edges,
+                "model_version": self.served_version,
+                "evictable": self.spec is not None}
+
+
+class ReplicaPool(ServiceEndpoint):
+    """N replicas of one service sharing the graph read-only via shm.
+
+    Reads (``score_node`` / ``score_edge``) dispatch to the healthy
+    replica with the fewest in-flight requests; each replica is a
+    dedicated single-process executor wrapped in its own
+    :class:`MicroBatcher`, so concurrent requests still coalesce into
+    shared forward batches per replica.  A replica whose process dies
+    is marked unhealthy and its in-flight reads retry on the
+    survivors.
+
+    Writes fan in through one path: the pool closes the read gate,
+    waits for in-flight reads to drain, applies the mutation on the
+    primary service (the inherited writer batcher thread), republishes
+    shared memory — feature-only updates in place via
+    :meth:`SharedGraphExport.publish_features`, topology changes by
+    rebinding a fresh export — and reopens the gate.  Single-writer
+    fan-in keeps mutation ordering deterministic and means replicas
+    never observe a half-applied store.
+    """
+
+    def __init__(self, name: str, service, *, replicas: int,
+                 max_batch: int = 32, max_delay_ms: float = 2.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 registry=None, model_name: Optional[str] = None,
+                 model_version: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        if replicas < 2:
+            raise ValueError("ReplicaPool needs replicas >= 2; use "
+                             "ServiceEndpoint for a single replica")
+        super().__init__(name, service, max_batch=max_batch,
+                         max_delay_ms=max_delay_ms, metrics=metrics,
+                         registry=registry, model_name=model_name,
+                         model_version=model_version)
+        self.replicas = int(replicas)
+        self._max_batch = int(max_batch)
+        self._max_delay_ms = float(max_delay_ms)
+        self._metrics = metrics
+        self._start_method = start_method
+        self._replica_list: List[_Replica] = []
+        self._graph_export: Optional[SharedGraphExport] = None
+        self._model_export: Optional[SharedModelExport] = None
+        self._graph_token = 0
+        self._model_token = 0
+        self._graph_ref = None
+        self._model_ref = None
+        self._gate = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._writer_lock = asyncio.Lock()
+        self._reads = 0
+        self.failovers = 0
+        self._started = False
+
+    # -- shared-memory binding (sync; called off the event loop) -------
+    def _bind_graph_sync(self) -> None:
+        store = self.service.store
+        export = SharedGraphExport.create(store.features, store.index)
+        if self._graph_export is not None:
+            self._graph_export.destroy()
+        self._graph_export = export
+        self._graph_token += 1
+        self._graph_ref = parallel_engine.GraphRef(self._graph_token,
+                                                   export.spec)
+
+    def _publish_features_sync(self) -> None:
+        # In-place republish into the same segment: attached workers
+        # see the new values through the shared pages without a token
+        # change.  Falls back to a full rebind when the matrix shape
+        # moved (a concurrent add_node cannot happen — the writer lock
+        # serializes mutations — but specs can disagree after a swap).
+        store = self.service.store
+        if (self._graph_export is None
+                or not self._graph_export.publish_features(store.features)):
+            self._bind_graph_sync()
+
+    def _bind_model_sync(self) -> None:
+        export = SharedModelExport.create(self.service.model)
+        if self._model_export is not None:
+            self._model_export.destroy()
+        self._model_export = export
+        self._model_token += 1
+        self._model_ref = parallel_engine.ModelRef(self._model_token, 0,
+                                                   export.spec)
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        await self.batcher.start()  # the writer path
+        loop = asyncio.get_running_loop()
+
+        def bind_and_spawn() -> List[int]:
+            self._bind_graph_sync()
+            self._bind_model_sync()
+            context = parallel_engine._mp_context(self._start_method)
+            for index in range(self.replicas):
+                executor = ProcessPoolExecutor(max_workers=1,
+                                               mp_context=context)
+                self._replica_list.append(_Replica(index, executor))
+            # Warm every worker now — process spawn happens before
+            # traffic, and the pid comes back for stats/failover tools.
+            return [replica.executor.submit(_replica_pid).result()
+                    for replica in self._replica_list]
+
+        pids = await loop.run_in_executor(None, bind_and_spawn)
+        for replica, pid in zip(self._replica_list, pids):
+            replica.pid = pid
+            replica.batcher = MicroBatcher(
+                _ReplicaProxy(self, replica), max_batch=self._max_batch,
+                max_delay_ms=self._max_delay_ms, metrics=self._metrics)
+            await replica.batcher.start()
+        self._gate.set()
+        self._drained.set()
+        log_event(LOGGER, logging.INFO, "replica pool started",
+                  service=self.name, replicas=self.replicas, pids=pids)
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        for replica in self._replica_list:
+            if replica.batcher is not None:
+                await replica.batcher.stop()
+        await self.batcher.stop()
+        loop = asyncio.get_running_loop()
+
+        def cleanup() -> None:
+            for replica in self._replica_list:
+                replica.executor.shutdown(wait=True, cancel_futures=True)
+            if self._graph_export is not None:
+                self._graph_export.destroy()
+                self._graph_export = None
+            if self._model_export is not None:
+                self._model_export.destroy()
+                self._model_export = None
+
+        await loop.run_in_executor(None, cleanup)
+        self._replica_list = []
+
+    # -- read path: least-loaded dispatch with failover ----------------
+    def _pick(self) -> Optional[_Replica]:
+        best = None
+        for replica in self._replica_list:
+            if not replica.healthy:
+                continue
+            if best is None or replica.inflight < best.inflight:
+                best = replica
+        return best
+
+    def _fail_replica(self, replica: _Replica, error: BaseException) -> None:
+        if not replica.healthy:
+            return
+        replica.healthy = False
+        self.failovers += 1
+        log_event(LOGGER, logging.WARNING, "replica failed over",
+                  service=self.name, replica=replica.index,
+                  pid=replica.pid, error=str(error),
+                  error_type=type(error).__name__)
+
+    async def _read(self, kind: str, args: tuple) -> float:
+        while True:
+            await self._gate.wait()
+            replica = self._pick()
+            if replica is None:
+                raise RuntimeError(
+                    f"service {self.name!r}: no healthy replicas left")
+            self._reads += 1
+            self._drained.clear()
+            replica.inflight += 1
+            try:
+                if kind == "node":
+                    return await replica.batcher.score_node(args[0])
+                return await replica.batcher.score_edge(*args)
+            except BrokenExecutor as error:
+                # The replica's worker process died (crash or kill):
+                # mark it unhealthy and retry on the survivors.  Per-
+                # request errors (bad node, missing edge) are ordinary
+                # exceptions and propagate to the caller untouched.
+                self._fail_replica(replica, error)
+                continue
+            finally:
+                replica.inflight -= 1
+                self._reads -= 1
+                if self._reads == 0:
+                    self._drained.set()
+
+    async def score_node(self, node: int) -> float:
+        return await self._read("node", (int(node),))
+
+    async def score_edge(self, u: int, v: int) -> float:
+        return await self._read("edge", (int(u), int(v)))
+
+    # -- write path: single-writer fan-in ------------------------------
+    async def _write(self, fn, *args, resync=None):
+        async with self._writer_lock:
+            self._gate.clear()
+            try:
+                await self._drained.wait()
+                result = await self.batcher.submit(fn, *args)
+                if resync is not None:
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, resync)
+                return result
+            finally:
+                self._gate.set()
+
+    async def run_op(self, request: dict,
+                     refresh_workers: Optional[int] = None) -> dict:
+        op = request.get("op")
+        if op in MUTATING_OPS:
+            resync = (self._publish_features_sync
+                      if op == "update_features" else self._bind_graph_sync)
+            return await self._write(dispatch_request, self.service,
+                                     request, refresh_workers,
+                                     resync=resync)
+        response = await self.batcher.submit(
+            dispatch_request, self.service, request, refresh_workers)
+        if op == "stats" and isinstance(response, dict) \
+                and isinstance(response.get("stats"), dict):
+            response["stats"]["replica_pool"] = self.pool_stats()
+        return response
+
+    async def swap_model(self, model) -> None:
+        await self._write(self.service.swap_model, model,
+                          resync=self._bind_model_sync)
+
+    # -- introspection -------------------------------------------------
+    def pool_stats(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "healthy": sum(1 for r in self._replica_list if r.healthy),
+            "pids": [r.pid for r in self._replica_list],
+            "inflight": [r.inflight for r in self._replica_list],
+            "dispatched": [r.dispatched for r in self._replica_list],
+            "failovers": self.failovers,
+        }
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["healthy_replicas"] = sum(
+            1 for r in self._replica_list if r.healthy)
+        return info
+
+
+# ----------------------------------------------------------------------
+# Tenant specs
+# ----------------------------------------------------------------------
+@dataclass
+class TenantSpec:
+    """Recipe for building one tenant's service (store + model).
+
+    Exactly one model source is required: ``model`` (a checkpoint path)
+    or ``registry`` (a registry root; ``model_name`` defaults to the
+    tenant name).  The graph comes from the dataset registry — each
+    tenant gets its own :class:`~repro.serving.store.GraphStore`, so
+    tenants never share mutable state.
+    """
+
+    name: str
+    dataset: str = "cora"
+    scale: float = 0.15
+    seed: int = 0
+    rounds: Optional[int] = None
+    model: Optional[str] = None
+    registry: Optional[str] = None
+    model_name: Optional[str] = None
+    model_version: Optional[int] = None
+    backend: Optional[str] = None
+    replicas: int = 1
+    cache_size: int = 4096
+    compact_threshold: Optional[float] = 0.25
+
+    def validate(self) -> "TenantSpec":
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("tenant spec needs a non-empty 'name'")
+        if (self.model is None) == (self.registry is None):
+            raise ValueError(
+                f"tenant {self.name!r}: exactly one of 'model' (checkpoint "
+                "path) or 'registry' (registry root) is required")
+        if int(self.replicas) < 1:
+            raise ValueError(f"tenant {self.name!r}: replicas must be >= 1")
+        return self
+
+
+_SPEC_FIELDS = {f.name for f in fields(TenantSpec)} - {"name"}
+
+
+def parse_tenant_spec(name: str, payload: dict) -> TenantSpec:
+    """Build a validated :class:`TenantSpec` from a JSON payload."""
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"tenant spec for {name!r} must be a JSON object, "
+            f"got {type(payload).__name__}")
+    unknown = set(payload) - _SPEC_FIELDS
+    if unknown:
+        raise ValueError(f"tenant spec for {name!r} has unknown keys "
+                         f"{sorted(unknown)}; allowed: "
+                         f"{sorted(_SPEC_FIELDS)}")
+    return TenantSpec(name=name, **payload).validate()
+
+
+def load_tenant_specs(path: str) -> List[TenantSpec]:
+    """Parse a ``serve --tenants`` spec file.
+
+    Accepts either a bare JSON list of tenant objects (each carrying
+    its ``name``) or ``{"tenants": [...]}``.
+    """
+    import json
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        payload = payload.get("tenants")
+    if not isinstance(payload, list):
+        raise ValueError(
+            f"{path}: expected a JSON list of tenant specs "
+            "(or an object with a 'tenants' list)")
+    specs = []
+    for entry in payload:
+        if not isinstance(entry, dict) or not entry.get("name"):
+            raise ValueError(f"{path}: every tenant spec needs a 'name'")
+        entry = dict(entry)
+        specs.append(parse_tenant_spec(entry.pop("name"), entry))
+    return specs
+
+
+def build_tenant_service(spec: TenantSpec):
+    """Build ``(service, registry, model_version)`` for one tenant.
+
+    CPU-bound (dataset generation + store build); the router runs it in
+    an executor so lazy boots never stall the event loop.
+    """
+    from ..core import load_model
+    from ..datasets import load_benchmark
+    from ..eval import normalize_graph
+    from ..serving import GraphStore, ModelRegistry, ScoringService
+
+    registry = None
+    version = None
+    if spec.registry is not None:
+        registry = ModelRegistry(spec.registry)
+        model_name = spec.model_name or spec.name
+        version = (spec.model_version if spec.model_version is not None
+                   else registry.latest(model_name))
+        model = registry.load(model_name, version)
+    else:
+        model = load_model(spec.model)
+    graph = normalize_graph(load_benchmark(spec.dataset, seed=spec.seed,
+                                           scale=spec.scale))
+    if model.num_features != graph.num_features:
+        raise ValueError(
+            f"tenant {spec.name!r}: model expects {model.num_features} "
+            f"features but {spec.dataset}@{spec.scale} has "
+            f"{graph.num_features}")
+    store = GraphStore.from_graph(
+        graph, influence_radius=model.config.hop_size,
+        compact_threshold=spec.compact_threshold)
+    service = ScoringService(model, store, rounds=spec.rounds,
+                             cache_size=spec.cache_size,
+                             backend=spec.backend)
+    return service, registry, version
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class ServiceRouter:
+    """Name → endpoint map with lazy tenant boot and idle eviction.
+
+    Resolution order: a live endpoint wins; otherwise a registered
+    :class:`TenantSpec` boots on first request (serialized per name, so
+    concurrent first requests share one boot); otherwise the name is
+    unknown.  Spec-backed endpooints are the only evictable ones — an
+    evicted tenant's spec stays registered and the next request
+    rebuilds it from scratch, bitwise-identically (stores are pure
+    functions of the spec).
+    """
+
+    def __init__(self, *, metrics: Optional[MetricsRegistry] = None,
+                 max_batch: int = 32, max_delay_ms: float = 2.0,
+                 start_method: Optional[str] = None):
+        self._endpoints: Dict[str, ServiceEndpoint] = {}
+        self._specs: Dict[str, TenantSpec] = {}
+        self._boot_locks: Dict[str, asyncio.Lock] = {}
+        self._metrics = metrics
+        self._max_batch = int(max_batch)
+        self._max_delay_ms = float(max_delay_ms)
+        self._start_method = start_method
+        self.default_name = DEFAULT_SERVICE
+        self.attaches = 0
+        self.detaches = 0
+        self.evictions = 0
+
+    # -- construction --------------------------------------------------
+    def make_endpoint(self, name: str, service, *, replicas: int = 1,
+                      registry=None, model_name: Optional[str] = None,
+                      model_version: Optional[int] = None,
+                      spec: Optional[TenantSpec] = None) -> ServiceEndpoint:
+        kwargs = dict(max_batch=self._max_batch,
+                      max_delay_ms=self._max_delay_ms,
+                      metrics=self._metrics, registry=registry,
+                      model_name=model_name, model_version=model_version)
+        if int(replicas) > 1:
+            endpoint: ServiceEndpoint = ReplicaPool(
+                name, service, replicas=int(replicas),
+                start_method=self._start_method, **kwargs)
+        else:
+            endpoint = ServiceEndpoint(name, service, **kwargs)
+        endpoint.spec = spec
+        return endpoint
+
+    # -- registration --------------------------------------------------
+    def register_spec(self, spec: TenantSpec, replace: bool = False) -> None:
+        if not replace and (spec.name in self._specs
+                            or spec.name in self._endpoints):
+            raise ValueError(f"service {spec.name!r} is already attached")
+        self._specs[spec.name] = spec
+
+    def has_spec(self, name: str) -> bool:
+        return name in self._specs
+
+    def spec_names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def add(self, endpoint: ServiceEndpoint) -> ServiceEndpoint:
+        """Register an endpoint without starting it (pre-event-loop
+        construction; the gateway starts registered endpoints in
+        ``start()``)."""
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"service {endpoint.name!r} is already attached")
+        self._endpoints[endpoint.name] = endpoint
+        self.attaches += 1
+        if self._metrics is not None:
+            safe = _METRIC_SAFE.sub("_", endpoint.name)
+            self._metrics.gauge(
+                f"gateway_service_up_{safe}",
+                f"replica count while service {endpoint.name!r} is "
+                "attached").set(endpoint.replicas)
+        log_event(LOGGER, logging.INFO, "service attached",
+                  service=endpoint.name, replicas=endpoint.replicas)
+        return endpoint
+
+    async def attach(self, endpoint: ServiceEndpoint) -> ServiceEndpoint:
+        self.add(endpoint)
+        await endpoint.start()
+        return endpoint
+
+    async def detach(self, name: str,
+                     keep_spec: bool = False) -> ServiceEndpoint:
+        endpoint = self._endpoints.pop(name, None)
+        if endpoint is None:
+            raise KeyError(f"unknown service {name!r}")
+        if not keep_spec:
+            self._specs.pop(name, None)
+        if self._metrics is not None:
+            self._metrics.unregister(
+                f"gateway_service_up_{_METRIC_SAFE.sub('_', name)}")
+        self.detaches += 1
+        await endpoint.stop()
+        log_event(LOGGER, logging.INFO, "service detached", service=name)
+        return endpoint
+
+    # -- resolution ----------------------------------------------------
+    def get(self, name: str) -> Optional[ServiceEndpoint]:
+        return self._endpoints.get(name)
+
+    async def resolve(self, name: Optional[str] = None) -> ServiceEndpoint:
+        key = name if name is not None else self.default_name
+        endpoint = self._endpoints.get(key)
+        if endpoint is not None:
+            return endpoint
+        if key in self._specs:
+            return await self._boot(key)
+        if name is None:
+            raise ValueError("no default service is attached; requests "
+                             "must name a 'service'")
+        raise KeyError(f"unknown service {name!r}")
+
+    async def _boot(self, name: str) -> ServiceEndpoint:
+        lock = self._boot_locks.setdefault(name, asyncio.Lock())
+        async with lock:
+            endpoint = self._endpoints.get(name)
+            if endpoint is not None:
+                return endpoint  # a concurrent request already booted it
+            spec = self._specs[name]
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            service, registry, version = await loop.run_in_executor(
+                None, build_tenant_service, spec)
+            endpoint = self.make_endpoint(
+                name, service, replicas=spec.replicas, registry=registry,
+                model_name=spec.model_name or spec.name,
+                model_version=version, spec=spec)
+            await self.attach(endpoint)
+            log_event(LOGGER, logging.INFO, "tenant booted", service=name,
+                      boot_ms=round((loop.time() - started) * 1000.0, 1))
+            return endpoint
+
+    # -- lifecycle -----------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    def endpoints(self) -> List[ServiceEndpoint]:
+        return [self._endpoints[name] for name in sorted(self._endpoints)]
+
+    async def stop_all(self) -> None:
+        for name in list(self._endpoints):
+            endpoint = self._endpoints.pop(name)
+            try:
+                await endpoint.stop()
+            except Exception as error:  # teardown must not mask teardown
+                log_event(LOGGER, logging.WARNING, "endpoint stop failed",
+                          service=name, error=str(error),
+                          error_type=type(error).__name__)
+
+    async def evict_idle(self, idle_ttl: float,
+                         inflight_for) -> List[str]:
+        """Detach spec-backed endpoints idle for ``idle_ttl`` seconds
+        with no in-flight requests; their specs stay registered, so the
+        next request lazily reboots them."""
+        now = time.monotonic()
+        evicted: List[str] = []
+        for name, endpoint in list(self._endpoints.items()):
+            if endpoint.spec is None:
+                continue
+            if inflight_for(name):
+                continue
+            if now - endpoint.last_used < idle_ttl:
+                continue
+            await self.detach(name, keep_spec=True)
+            self.evictions += 1
+            evicted.append(name)
+        if evicted:
+            log_event(LOGGER, logging.INFO, "idle tenants evicted",
+                      services=evicted)
+        return evicted
+
+    def describe(self) -> dict:
+        return {
+            "services": [endpoint.describe()
+                         for endpoint in self.endpoints()],
+            "lazy": sorted(set(self._specs) - set(self._endpoints)),
+            "attaches": self.attaches,
+            "detaches": self.detaches,
+            "evictions": self.evictions,
+        }

@@ -1,24 +1,34 @@
-"""Asyncio serving gateway: one engine, two wire protocols.
+"""Asyncio serving gateway: many services, two wire protocols.
 
-:class:`Gateway` puts a network front door on a
-:class:`~repro.serving.service.ScoringService`:
+:class:`Gateway` puts a network front door on one or more
+:class:`~repro.serving.service.ScoringService` instances behind a
+:class:`~repro.gateway.router.ServiceRouter`:
 
 * **NDJSON over TCP** — the CLI's stdin JSONL schema
   (:mod:`repro.gateway.protocol`), one request object per line, one
   response line each, pipelinable.  A connection speaks NDJSON unless
-  its first line looks like an HTTP request.
+  its first line looks like an HTTP request.  A request's ``"service"``
+  field routes it to a named service; without it the default service
+  answers.
 * **HTTP/1.1 adapter** — ``POST /v1/score_node``, ``POST
-  /v1/score_edge``, ``POST /v1/update``, ``POST /v1/reload``, ``GET
-  /healthz``, ``GET /metrics`` (Prometheus text), ``GET /v1/stats``.
-  Keep-alive supported; bodies are JSON.
+  /v1/score_edge``, ``POST /v1/update``, ``POST /v1/reload``, ``POST
+  /v1/admin``, ``GET /healthz``, ``GET /metrics`` (Prometheus text),
+  ``GET /v1/stats``, ``GET /v1/services``.  Keep-alive supported;
+  bodies are JSON.  Routing: the ``/v1/t/<service>/...`` path prefix
+  or the ``X-Repro-Service`` header select a named service.
 
-Score requests from every connection funnel into one
-:class:`~repro.gateway.batcher.MicroBatcher`, so concurrent clients
-share forward batches (bitwise-equal to sequential scoring — the
-service's counter-based RNG guarantees it).  Admission control sheds
-load before it queues (HTTP 429 / 503 + JSON ``code``), and a
-registry watcher hot-swaps newly published model versions between
-batches with zero downtime.
+Score requests funnel into per-service
+:class:`~repro.gateway.batcher.MicroBatcher` endpoints, so concurrent
+clients share forward batches (bitwise-equal to sequential scoring —
+the service's counter-based RNG guarantees it).  Endpoints with
+``replicas > 1`` fan reads out across worker processes sharing the
+graph read-only (:class:`~repro.gateway.router.ReplicaPool`).
+Admission control sheds load before it queues, a registry watcher
+hot-swaps newly published model versions between batches with zero
+downtime, and **every** error — handler failures, admission
+rejections, and transport-level problems alike — answers with the same
+``{"ok": false, "error", "error_type", "code"}`` envelope on both
+transports (the ``code`` doubles as the HTTP status).
 """
 
 from __future__ import annotations
@@ -33,15 +43,21 @@ from ..obs import trace as obs_trace
 from ..obs.trace import FlightRecorder, span_tree
 from ..utils.logging import get_logger, log_event
 from .admission import DRAINING, AdmissionController
-from .batcher import MicroBatcher
 from .metrics import LATENCY_BUCKETS, MetricsRegistry
 from .protocol import (
     REQUEST_ERRORS,
     UPDATE_OPS,
     attach_request_id,
-    dispatch_request,
     error_response,
     parse_request,
+    rejection_response,
+    transport_error,
+)
+from .router import (
+    DEFAULT_SERVICE,
+    ServiceEndpoint,
+    ServiceRouter,
+    parse_tenant_spec,
 )
 
 LOGGER = get_logger("repro.gateway", json_format=True)
@@ -54,29 +70,40 @@ _HTTP_METHODS = (b"GET ", b"POST ", b"PUT ", b"DELETE ", b"HEAD ",
                  b"OPTIONS ", b"PATCH ")
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 429: "Too Many Requests",
-            500: "Internal Server Error", 503: "Service Unavailable"}
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
 
 #: Ops that get their own latency histogram on ``/metrics``; anything
 #: else (including unknown ops) lands in the ``other`` series so a
 #: misbehaving client cannot mint unbounded metric names.
 _KNOWN_OPS = frozenset({"score", "score_edge", "add_node", "add_edge",
-                        "update_features", "refresh", "stats", "reload"})
+                        "update_features", "refresh", "compact", "stats",
+                        "reload", "attach_service", "detach_service",
+                        "services"})
+
+#: Router administration ops — handled by the gateway itself, before
+#: (and without) endpoint resolution.
+_ADMIN_OPS = frozenset({"attach_service", "detach_service", "services"})
 
 
 class Gateway:
-    """Networked serving gateway over one :class:`ScoringService`.
+    """Networked serving gateway over routed :class:`ScoringService`\\ s.
 
     Parameters
     ----------
     service:
-        The scoring service; after :meth:`start` it must only be
-        touched through the gateway (the batcher owns its thread).
+        The default scoring service (route key ``"default"``); after
+        :meth:`start` it must only be touched through the gateway (its
+        endpoint's batcher owns the scoring thread).  ``None`` boots a
+        tenants-only gateway where every request must name a service.
     registry / model_name:
         Optional :class:`~repro.serving.registry.ModelRegistry` source
-        enabling ``POST /v1/reload`` and background version watching.
+        enabling ``POST /v1/reload`` and background version watching
+        for the default service.
     max_batch / max_delay_ms:
-        Micro-batching knobs (see :class:`MicroBatcher`).
+        Micro-batching knobs (see :class:`MicroBatcher`), shared by
+        every endpoint the router creates.
     max_queue / rate / burst:
         Admission knobs (see :class:`AdmissionController`).
     refresh_workers:
@@ -84,6 +111,21 @@ class Gateway:
     poll_interval:
         Seconds between registry version checks; ``None`` disables the
         watcher (``/v1/reload`` still works).
+    replicas:
+        Replica count for the default service; ``> 1`` wraps it in a
+        :class:`~repro.gateway.router.ReplicaPool` (N processes sharing
+        the graph read-only, least-loaded dispatch, single-writer
+        mutation fan-in).
+    tenants / idle_ttl / lazy_tenants:
+        Tenant specs (:class:`~repro.gateway.router.TenantSpec` or
+        plain dicts with a ``name``) registered with the router.
+        Tenants boot lazily on first request unless
+        ``lazy_tenants=False``; with ``idle_ttl`` set, a background
+        sweeper evicts tenants idle that many seconds (their specs stay
+        registered, so the next request reboots them).
+    start_method:
+        Multiprocessing start method for replica pools (default: fork
+        where available).
     tracing / trace_slow_ms / recorder:
         Request tracing: every admitted request runs under a
         ``gateway.<op>`` trace recorded into a
@@ -95,7 +137,8 @@ class Gateway:
         whole layer into no-ops.
     """
 
-    def __init__(self, service, registry=None, model_name: Optional[str] = None,
+    def __init__(self, service=None, registry=None,
+                 model_name: Optional[str] = None,
                  *, max_batch: int = 32, max_delay_ms: float = 2.0,
                  max_queue: int = 256, rate: Optional[float] = None,
                  burst: Optional[float] = None,
@@ -103,21 +146,37 @@ class Gateway:
                  poll_interval: Optional[float] = None,
                  model_version: Optional[int] = None,
                  metrics: Optional[MetricsRegistry] = None,
+                 replicas: int = 1,
+                 tenants=None,
+                 idle_ttl: Optional[float] = None,
+                 lazy_tenants: bool = True,
+                 start_method: Optional[str] = None,
                  tracing: bool = True,
                  trace_slow_ms: float = 250.0,
                  recorder: Optional[FlightRecorder] = None):
-        self.service = service
         self.registry = registry
         self.model_name = model_name
         self.refresh_workers = refresh_workers
         self.poll_interval = poll_interval
+        self.idle_ttl = idle_ttl
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.batcher = MicroBatcher(service, max_batch=max_batch,
-                                    max_delay_ms=max_delay_ms,
-                                    metrics=self.metrics)
         self.admission = AdmissionController(max_queue=max_queue,
                                              rate=rate, burst=burst)
-        self.served_version = model_version
+        self.router = ServiceRouter(metrics=self.metrics,
+                                    max_batch=max_batch,
+                                    max_delay_ms=max_delay_ms,
+                                    start_method=start_method)
+        if service is not None:
+            self.router.add(self.router.make_endpoint(
+                DEFAULT_SERVICE, service, replicas=replicas,
+                registry=registry, model_name=model_name,
+                model_version=model_version))
+        for spec in (tenants or []):
+            if isinstance(spec, dict):
+                spec = dict(spec)
+                spec = parse_tenant_spec(spec.pop("name", None), spec)
+            self.router.register_spec(spec)
+        self._lazy_tenants = lazy_tenants
         if recorder is not None:
             self.recorder: Optional[FlightRecorder] = recorder
         elif tracing:
@@ -128,6 +187,7 @@ class Gateway:
         self._op_latency = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._watcher: Optional[asyncio.Task] = None
+        self._sweeper: Optional[asyncio.Task] = None
         self._requests_total = self.metrics.counter(
             "gateway_requests_total", "requests received (all transports)")
         self._shed_total = self.metrics.counter(
@@ -146,43 +206,84 @@ class Gateway:
                            fn=lambda: self.admission.inflight)
         self.metrics.gauge("gateway_draining", "1 while draining",
                            fn=lambda: float(self.admission.draining))
+        self.metrics.gauge("gateway_services", "attached service endpoints",
+                           fn=lambda: float(len(self.router.names())))
+
+    # ------------------------------------------------------------------
+    # Back-compat single-service surface (the default endpoint's)
+    # ------------------------------------------------------------------
+    @property
+    def _default(self) -> Optional[ServiceEndpoint]:
+        return self.router.get(self.router.default_name)
+
+    @property
+    def service(self):
+        endpoint = self._default
+        return endpoint.service if endpoint is not None else None
+
+    @property
+    def batcher(self):
+        endpoint = self._default
+        return endpoint.batcher if endpoint is not None else None
+
+    @property
+    def served_version(self) -> Optional[int]:
+        endpoint = self._default
+        return endpoint.served_version if endpoint is not None else None
+
+    @served_version.setter
+    def served_version(self, value: Optional[int]) -> None:
+        endpoint = self._default
+        if endpoint is None:
+            raise ValueError("no default service is attached")
+        endpoint.served_version = value
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> Tuple[str, int]:
-        """Start the batcher, the TCP server, and (optionally) the
-        registry watcher; returns the bound ``(host, port)``."""
+        """Start the endpoints, the TCP server, and (optionally) the
+        registry watcher and idle sweeper; returns the bound
+        ``(host, port)``."""
         if self.recorder is not None:
             self._prev_recorder = obs_trace.install(self.recorder)
-        await self.batcher.start()
+        for endpoint in self.router.endpoints():
+            await endpoint.start()
+        if not self._lazy_tenants:
+            for name in self.router.spec_names():
+                await self.router.resolve(name)
         self._server = await asyncio.start_server(
             self._handle_connection, host, port, limit=_MAX_LINE)
         if (self.registry is not None and self.model_name is not None
-                and self.poll_interval is not None):
+                and self.poll_interval is not None
+                and self._default is not None):
             self._watcher = asyncio.ensure_future(self._watch_registry())
+        if self.idle_ttl is not None:
+            self._sweeper = asyncio.ensure_future(self._sweep_idle())
         sock = self._server.sockets[0].getsockname()
         return sock[0], sock[1]
 
     async def stop(self, drain_timeout: float = 30.0) -> bool:
         """Graceful shutdown: stop accepting, drain in-flight requests,
-        flush the batcher.  Returns ``True`` if the drain completed
+        stop every endpoint.  Returns ``True`` if the drain completed
         inside ``drain_timeout``."""
-        if self._watcher is not None:
-            self._watcher.cancel()
-            try:
-                await self._watcher
-            except asyncio.CancelledError:
-                pass
-            self._watcher = None
+        for task_attr in ("_watcher", "_sweeper"):
+            task = getattr(self, task_attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, task_attr, None)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         self.admission.begin_drain()
         drained = await self.admission.wait_drained(drain_timeout)
-        await self.batcher.stop()
+        await self.router.stop_all()
         if self.recorder is not None:
             obs_trace.uninstall(self._prev_recorder)
             self._prev_recorder = None
@@ -192,6 +293,21 @@ class Gateway:
         if self._server is None:
             raise RuntimeError("call start() first")
         await self._server.serve_forever()
+
+    async def _sweep_idle(self) -> None:
+        """Periodically evict spec-backed tenants idle past
+        ``idle_ttl`` (they reboot lazily on the next request)."""
+        interval = max(min(self.idle_ttl / 4.0, 30.0), 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                await self.router.evict_idle(self.idle_ttl,
+                                             self.admission.inflight_for)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # sweep must never kill serving
+                log_event(LOGGER, logging.WARNING, "idle sweep failed",
+                          error=str(error), error_type=type(error).__name__)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -267,18 +383,26 @@ class Gateway:
     async def dispatch(self, request: dict, client: str) -> dict:
         """Admit, route, trace, and time one parsed request.
 
+        The optional ``"service"`` field picks the endpoint (default
+        service otherwise); admin ops go to the router itself.
         Admitted requests run under a ``gateway.<op>`` root trace (shed
         requests stay untraced — rejection must stay allocation-cheap)
         and the response carries its ``trace_id`` so clients can fetch
         the span tree from ``GET /v1/trace/<id>``.
         """
         self._requests_total.inc()
-        reason = self.admission.admit(client)
+        name = request.get("service")
+        if name is not None and not isinstance(name, str):
+            self._errors_total.inc()
+            return attach_request_id(
+                transport_error("'service' must be a string",
+                                "ValueError", 400), request)
+        service_key = name if name is not None else self.router.default_name
+        reason = self.admission.admit(client, service=service_key)
         if reason is not None:
             self._shed_total.inc()
             return attach_request_id(
-                {"ok": False, "error": f"request rejected: {reason}",
-                 "reason": reason, "code": _SHED_STATUS.get(reason, 429)},
+                rejection_response(reason, _SHED_STATUS.get(reason, 429)),
                 request)
         op = request.get("op")
         op_name = op if isinstance(op, str) and op in _KNOWN_OPS else "other"
@@ -287,19 +411,24 @@ class Gateway:
         trace_id = None
         try:
             with obs_trace.trace(f"gateway.{op_name}") as root:
-                root.set(op=str(op), client=client)
+                root.set(op=str(op), client=client, service=service_key)
                 buffer = root.trace
                 if buffer is not None:
                     trace_id = buffer.trace_id
-                response = await self._route_op(request)
+                if op in _ADMIN_OPS:
+                    response = await self._admin_op(request)
+                else:
+                    endpoint = await self.router.resolve(name)
+                    endpoint.touch()
+                    response = await self._route_op(endpoint, request)
         except REQUEST_ERRORS as error:
             self._errors_total.inc()
             log_event(LOGGER, logging.WARNING, "request failed",
-                      op=str(op), client=client,
+                      op=str(op), client=client, service=service_key,
                       error=str(error), error_type=type(error).__name__)
             response = error_response(error, request)
         finally:
-            self.admission.release()
+            self.admission.release(service=service_key)
             elapsed = loop.time() - started
             self._latency.observe(elapsed)
             self._op_hist(op_name).observe(elapsed)
@@ -307,12 +436,13 @@ class Gateway:
             response.setdefault("trace_id", trace_id)
         return attach_request_id(response, request)
 
-    async def _route_op(self, request: dict) -> dict:
+    async def _route_op(self, endpoint: ServiceEndpoint,
+                        request: dict) -> dict:
         op = request.get("op")
         if op == "score":
             nodes = [int(n) for n in request["nodes"]]
             scores = await asyncio.gather(
-                *(self.batcher.score_node(n) for n in nodes),
+                *(endpoint.score_node(n) for n in nodes),
                 return_exceptions=True)
             for score in scores:  # retrieve every failure, raise the first
                 if isinstance(score, BaseException):
@@ -322,46 +452,82 @@ class Gateway:
                                for n, s in zip(nodes, scores)}}
         if op == "score_edge":
             u, v = int(request["u"]), int(request["v"])
-            score = await self.batcher.score_edge(u, v)
+            score = await endpoint.score_edge(u, v)
             return {"ok": True, "op": op, "u": u, "v": v, "score": score}
         if op == "reload":
-            return await self.reload(request.get("version"))
-        # Mutations / stats / refresh run serialized on the scoring
-        # thread, FIFO with forward batches.
-        return await self.batcher.submit(
-            dispatch_request, self.service, request, self.refresh_workers)
+            return await self.reload(request.get("version"),
+                                     endpoint=endpoint)
+        # Mutations / stats / refresh run serialized on the endpoint's
+        # scoring thread, FIFO with forward batches (replica pools add
+        # the quiesce + shared-memory resync around mutations).
+        return await endpoint.run_op(request, self.refresh_workers)
+
+    async def _admin_op(self, request: dict) -> dict:
+        """Router administration: attach/detach services, list them."""
+        op = request["op"]
+        if op == "services":
+            return {"ok": True, "op": op, **self.router.describe()}
+        name = request.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{op} requires a service 'name'")
+        if op == "attach_service":
+            payload = request.get("spec")
+            if payload is not None:
+                self.router.register_spec(parse_tenant_spec(name, payload))
+            elif not self.router.has_spec(name):
+                raise ValueError(
+                    "attach_service needs a 'spec' (or a previously "
+                    "registered one)")
+            if request.get("lazy"):
+                return {"ok": True, "op": op, "service": name,
+                        "attached": False, "lazy": True}
+            endpoint = await self.router.resolve(name)
+            return {"ok": True, "op": op, "service": name,
+                    "attached": True, **endpoint.describe()}
+        # detach_service: stop the endpoint; keep_spec retains the
+        # tenant spec so a later request lazily reboots it.
+        await self.router.detach(name,
+                                 keep_spec=bool(request.get("keep_spec")))
+        return {"ok": True, "op": op, "service": name, "detached": True}
 
     # ------------------------------------------------------------------
     # Model hot-swap
     # ------------------------------------------------------------------
-    async def reload(self, version: Optional[int] = None) -> dict:
-        """Swap to a registry version (latest when unspecified).
+    async def reload(self, version: Optional[int] = None,
+                     endpoint: Optional[ServiceEndpoint] = None) -> dict:
+        """Swap an endpoint to a registry version (latest when
+        unspecified; default endpoint when unnamed).
 
         The checkpoint loads off-thread, then the swap itself runs on
         the scoring thread between batches — in-flight and queued
         requests before the swap score under the old weights, requests
-        after it under the new ones, and nobody observes a torn model.
+        after it under the new ones, and nobody observes a torn model
+        (replica pools quiesce reads and republish the shared model).
         """
-        if self.registry is None or self.model_name is None:
+        if endpoint is None:
+            endpoint = self._default
+        if (endpoint is None or endpoint.registry is None
+                or endpoint.model_name is None):
             raise ValueError("no model registry configured")
         loop = asyncio.get_running_loop()
         if version is None:
             version = await loop.run_in_executor(
-                None, self.registry.latest, self.model_name)
+                None, endpoint.registry.latest, endpoint.model_name)
         version = int(version)
-        if version == self.served_version:
-            return {"ok": True, "op": "reload", "version": version,
-                    "swapped": False}
+        if version == endpoint.served_version:
+            return {"ok": True, "op": "reload", "service": endpoint.name,
+                    "version": version, "swapped": False}
         model = await loop.run_in_executor(
-            None, self.registry.load, self.model_name, version)
-        await self.batcher.swap_model(model)
-        self.served_version = version
+            None, endpoint.registry.load, endpoint.model_name, version)
+        await endpoint.swap_model(model)
+        endpoint.served_version = version
         self._swaps_total.inc()
-        return {"ok": True, "op": "reload", "version": version,
-                "swapped": True}
+        return {"ok": True, "op": "reload", "service": endpoint.name,
+                "version": version, "swapped": True}
 
     async def _watch_registry(self) -> None:
-        """Poll the registry; hot-swap when a newer version appears."""
+        """Poll the registry; hot-swap the default service when a newer
+        version appears."""
         loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(self.poll_interval)
@@ -394,9 +560,10 @@ class Gateway:
                 method, path, http_version = \
                     request_line.decode("latin-1").split(None, 2)
             except ValueError:
-                await self._write_http(writer, 400,
-                                       {"ok": False, "error": "bad request"},
-                                       close=True)
+                await self._write_http(
+                    writer, 400,
+                    transport_error("malformed request line",
+                                    "BadRequest", 400), close=True)
                 return
             headers = {}
             while True:
@@ -406,19 +573,45 @@ class Gateway:
                 name, _, value = header.decode("latin-1").partition(":")
                 headers[name.strip().lower()] = value.strip()
             body = b""
-            try:
-                length = int(headers.get("content-length", 0) or 0)
-            except ValueError:
+            raw_length = headers.get("content-length")
+            length = 0
+            if raw_length is not None:
+                try:
+                    length = int(raw_length)
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    # Non-numeric or negative Content-Length: answering
+                    # anything else would desync framing, so respond
+                    # 400 and close instead of letting readexactly
+                    # blow up the connection with no response at all.
+                    self._errors_total.inc()
+                    await self._write_http(
+                        writer, 400,
+                        transport_error(
+                            f"bad Content-Length {raw_length!r}",
+                            "BadRequest", 400), close=True)
+                    return
+            if length > _MAX_LINE:
+                # Same 1 MiB cap the NDJSON transport enforces per
+                # line, rejected BEFORE reading the body — a declared
+                # multi-GiB upload costs the server nothing.  The
+                # unread body makes the connection unusable for
+                # keep-alive, so close it.
+                self._errors_total.inc()
                 await self._write_http(
-                    writer, 400,
-                    {"ok": False, "error": "bad Content-Length"}, close=True)
+                    writer, 413,
+                    transport_error(
+                        f"request body of {length} bytes exceeds the "
+                        f"{_MAX_LINE} byte cap", "PayloadTooLarge", 413),
+                    close=True)
                 return
             if length:
                 body = await reader.readexactly(length)
             keep_alive = (headers.get("connection", "").lower() != "close"
                           and http_version.strip().upper() != "HTTP/1.0")
             status, payload, content_type = await self._http_route(
-                method.upper(), path, body, client)
+                method.upper(), path, body, client, headers)
             await self._write_http(writer, status, payload,
                                    content_type=content_type,
                                    close=not keep_alive)
@@ -427,34 +620,53 @@ class Gateway:
             request_line = None
 
     async def _http_route(self, method: str, path: str, body: bytes,
-                          client: str):
-        """Route one HTTP request to the shared dispatcher."""
+                          client: str, headers: Optional[dict] = None):
+        """Route one HTTP request to the shared dispatcher.
+
+        Service selection: the ``/v1/t/<service>/...`` prefix rewrites
+        to the plain route with the service name attached; the
+        ``X-Repro-Service`` header does the same without touching the
+        path (the prefix wins when both are present).
+        """
+        headers = headers or {}
         path, _, query = path.partition("?")
+        service_name = headers.get("x-repro-service") or None
+        if path.startswith("/v1/t/"):
+            tenant, slash, rest = path[len("/v1/t/"):].partition("/")
+            if not tenant or not slash or not rest:
+                return 404, transport_error(
+                    f"no route {method} {path}", "NotFound", 404), None
+            service_name = tenant
+            path = "/v1/" + rest
         if method == "GET":
             if path == "/healthz":
-                return 200, {"ok": True,
-                             "status": ("draining" if self.admission.draining
-                                        else "serving"),
-                             "model_version": self.served_version,
-                             "num_nodes": self.service.store.num_nodes,
-                             "num_edges": self.service.store.num_edges}, None
+                return 200, self._healthz(), None
             if path == "/metrics":
-                return 200, await self.render_metrics(), "text/plain; version=0.0.4"
+                return 200, await self.render_metrics(), \
+                    "text/plain; version=0.0.4"
             if path == "/v1/stats":
-                response = await self.dispatch({"op": "stats"}, client)
-                return (200 if response.get("ok") else 500), response, None
+                request = {"op": "stats"}
+                if service_name:
+                    request["service"] = service_name
+                response = await self.dispatch(request, client)
+                return (200 if response.get("ok")
+                        else response.get("code", 500)), response, None
+            if path == "/v1/services":
+                response = await self.dispatch({"op": "services"}, client)
+                return (200 if response.get("ok")
+                        else response.get("code", 500)), response, None
             if path.startswith("/v1/trace/"):
                 return self._trace_route(path[len("/v1/trace/"):])
             if path == "/v1/traces":
                 return self._traces_route(query)
-            return 404, {"ok": False, "error": f"no route GET {path}"}, None
+            return 404, transport_error(f"no route GET {path}",
+                                        "NotFound", 404), None
         if method != "POST":
-            return 405, {"ok": False,
-                         "error": f"method {method} not allowed"}, None
+            return 405, transport_error(f"method {method} not allowed",
+                                        "MethodNotAllowed", 405), None
         try:
-            request = json.loads(body.decode("utf-8")) if body else {}
-            if not isinstance(request, dict):
-                raise ValueError("body must be a JSON object")
+            text = body.decode("utf-8") if body else ""
+            request = parse_request(text) if text.strip() else {}
         except (ValueError, UnicodeDecodeError) as error:
             self._errors_total.inc()
             return 400, error_response(error), None
@@ -464,35 +676,60 @@ class Gateway:
             request["op"] = route_ops[path]
             if request["op"] == "score" and "nodes" not in request:
                 if "node" not in request:
-                    return 400, {"ok": False,
-                                 "error": "body needs 'node' or 'nodes'"}, None
+                    return 400, transport_error(
+                        "body needs 'node' or 'nodes'",
+                        "BadRequest", 400), None
                 request["nodes"] = [request.pop("node")]
         elif path == "/v1/update":
             if request.get("op") not in UPDATE_OPS:
-                return 400, {"ok": False,
-                             "error": "update op must be one of "
-                                      + ", ".join(sorted(UPDATE_OPS))}, None
+                return 400, transport_error(
+                    "update op must be one of "
+                    + ", ".join(sorted(UPDATE_OPS)), "BadRequest", 400), None
+        elif path == "/v1/admin":
+            if request.get("op") not in _ADMIN_OPS:
+                return 400, transport_error(
+                    "admin op must be one of "
+                    + ", ".join(sorted(_ADMIN_OPS)), "BadRequest", 400), None
         else:
-            return 404, {"ok": False, "error": f"no route POST {path}"}, None
+            return 404, transport_error(f"no route POST {path}",
+                                        "NotFound", 404), None
+        if service_name and "service" not in request:
+            request["service"] = service_name
         response = await self.dispatch(request, client)
         if response.get("ok"):
             return 200, response, None
         return response.get("code", 400), response, None
 
+    def _healthz(self) -> dict:
+        body = {"ok": True,
+                "status": ("draining" if self.admission.draining
+                           else "serving"),
+                "services": self.router.names(),
+                "lazy_services": sorted(
+                    set(self.router.spec_names()) - set(self.router.names()))}
+        default = self._default
+        if default is not None:
+            body["model_version"] = default.served_version
+            body["num_nodes"] = default.service.store.num_nodes
+            body["num_edges"] = default.service.store.num_edges
+        return body
+
     def _trace_route(self, trace_id: str):
         """``GET /v1/trace/<id>`` — one retained trace as a span tree."""
         if self.recorder is None:
-            return 404, {"ok": False, "error": "tracing disabled"}, None
+            return 404, transport_error("tracing disabled",
+                                        "NotFound", 404), None
         record = self.recorder.get(trace_id)
         if record is None:
-            return 404, {"ok": False,
-                         "error": f"trace {trace_id!r} not retained"}, None
+            return 404, transport_error(f"trace {trace_id!r} not retained",
+                                        "NotFound", 404), None
         return 200, {"ok": True, "trace": span_tree(record)}, None
 
     def _traces_route(self, query: str):
         """``GET /v1/traces[?slow_ms=&limit=]`` — retained-trace summaries."""
         if self.recorder is None:
-            return 404, {"ok": False, "error": "tracing disabled"}, None
+            return 404, transport_error("tracing disabled",
+                                        "NotFound", 404), None
         slow_ms = None
         limit = 50
         for part in query.split("&"):
@@ -505,8 +742,8 @@ class Gateway:
                 elif key == "limit":
                     limit = int(value)
             except ValueError:
-                return 400, {"ok": False,
-                             "error": f"bad query parameter {part!r}"}, None
+                return 400, transport_error(
+                    f"bad query parameter {part!r}", "BadRequest", 400), None
         summaries = [
             {"trace_id": t["trace_id"], "name": t.get("name"),
              "duration_ms": t.get("duration_ms"), "status": t.get("status"),
@@ -517,21 +754,25 @@ class Gateway:
                      "recorder": self.recorder.stats()}, None
 
     async def render_metrics(self) -> str:
-        """Prometheus text: gateway metrics + the service's counters
-        (fetched on the scoring thread, so reads never race a batch)."""
-        try:
-            stats = await self.batcher.submit(self.service.stats)
-        except RuntimeError:
-            stats = self.service.stats()  # draining: thread is quiet
-        for key, value in stats.items():
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                self.metrics.gauge(f"service_{key}").set(value)
-        hits = stats.get("cache_hits", 0)
-        misses = stats.get("cache_misses", 0)
-        self.metrics.gauge(
-            "service_cache_hit_rate",
-            "subgraph cache hits / lookups").set(
-                hits / (hits + misses) if hits + misses else 0.0)
+        """Prometheus text: gateway metrics + the default service's
+        counters (fetched on its scoring thread, so reads never race a
+        batch)."""
+        default = self._default
+        if default is not None:
+            try:
+                stats = await default.submit(default.service.stats)
+            except RuntimeError:
+                stats = default.service.stats()  # draining: thread is quiet
+            for key, value in stats.items():
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    self.metrics.gauge(f"service_{key}").set(value)
+            hits = stats.get("cache_hits", 0)
+            misses = stats.get("cache_misses", 0)
+            self.metrics.gauge(
+                "service_cache_hit_rate",
+                "subgraph cache hits / lookups").set(
+                    hits / (hits + misses) if hits + misses else 0.0)
         text = self.metrics.render()
         # Fold in process-wide metrics other layers registered into the
         # global registry (gateway-owned names win on collision).
@@ -564,7 +805,7 @@ class Gateway:
         await writer.drain()
 
 
-async def run_gateway(service, host: str, port: int, *,
+async def run_gateway(service=None, host: str = "127.0.0.1", port: int = 0, *,
                       registry=None, model_name: Optional[str] = None,
                       ready_line: bool = True,
                       **gateway_kwargs) -> None:
@@ -573,16 +814,22 @@ async def run_gateway(service, host: str, port: int, *,
     Prints one NDJSON ready line with the bound address so callers
     (scripts, the smoke test) can discover an ephemeral port.  On
     cancellation (SIGINT via ``asyncio.run``'s KeyboardInterrupt
-    handling) the gateway drains gracefully.
+    handling) the gateway drains gracefully.  ``service=None`` boots a
+    tenants-only gateway (pass ``tenants=[...]``).
     """
     gateway = Gateway(service, registry=registry, model_name=model_name,
                       **gateway_kwargs)
     bound_host, bound_port = await gateway.start(host, port)
     if ready_line:
-        print(json.dumps({"ok": True, "op": "ready",
-                          "listen": f"{bound_host}:{bound_port}",
-                          "num_nodes": service.store.num_nodes,
-                          "num_edges": service.store.num_edges}), flush=True)
+        payload = {"ok": True, "op": "ready",
+                   "listen": f"{bound_host}:{bound_port}"}
+        if service is not None:
+            payload["num_nodes"] = service.store.num_nodes
+            payload["num_edges"] = service.store.num_edges
+        payload["services"] = gateway.router.names()
+        payload["lazy_services"] = sorted(
+            set(gateway.router.spec_names()) - set(gateway.router.names()))
+        print(json.dumps(payload), flush=True)
     try:
         await gateway.serve_forever()
     except asyncio.CancelledError:

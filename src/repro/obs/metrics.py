@@ -178,6 +178,11 @@ class MetricsRegistry:
     def get(self, name: str):
         return self._metrics.get(name)
 
+    def unregister(self, name: str) -> bool:
+        """Drop a registered metric (a detached service's gauges must
+        not keep rendering); returns whether the name existed."""
+        return self._metrics.pop(name, None) is not None
+
     def names(self) -> List[str]:
         """Registered metric names, sorted."""
         return sorted(self._metrics)

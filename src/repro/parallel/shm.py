@@ -190,6 +190,33 @@ class SharedGraphExport:
             spec = SharedGraphSpec(index.num_nodes, specs)
         return cls(spec, blocks)
 
+    def publish_features(self, features: np.ndarray) -> bool:
+        """Republish feature values into the existing segment in place.
+
+        The replica pools use this for ``update_features`` mutations:
+        workers stay attached to the same pages (same spec, same
+        token), so a feature-only write needs one ``memcpy`` instead of
+        a full graph re-export.  Only valid while the owner has
+        quiesced every reader (the pool's single-writer gate guarantees
+        it).  Returns ``False`` when the shape or dtype changed — the
+        caller must fall back to a full rebind (``add_node`` grows the
+        matrix, for example).
+        """
+        spec = self.spec.arrays.get("features")
+        if spec is None or spec.shm_name is None:
+            return False
+        features = np.ascontiguousarray(features)
+        if (tuple(features.shape) != tuple(spec.shape)
+                or features.dtype.str != spec.dtype):
+            return False
+        for block in self._blocks:
+            if block.name == spec.shm_name:
+                view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                                  buffer=block.buf)
+                view[...] = features
+                return True
+        return False
+
     def destroy(self) -> None:
         """Close and unlink every segment (idempotent)."""
         while self._blocks:

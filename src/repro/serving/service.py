@@ -197,6 +197,45 @@ def score_service_span(model: Bourne, graph_like, targets: np.ndarray,
     )
 
 
+def edge_mean_from_evidence(endpoint_scores: np.ndarray,
+                            means: Dict[int, float],
+                            edge_id: int) -> Tuple[float, bool]:
+    """Resolve one edge's score from its endpoints' round evidence.
+
+    ``(mean, imputed)``: the edge's mean contribution across rounds
+    when the sampler realized it, else the endpoint-score mean
+    (``imputed=True``) — the offline scorer's treatment of unsampled
+    edges.  Shared by :meth:`ScoringService.score_edge` and the replica
+    workers so both resolve identically, bit for bit.
+    """
+    mean = means.get(edge_id)
+    if mean is None:
+        return float(np.asarray(endpoint_scores).mean()), True
+    return float(mean), False
+
+
+def score_edge_span(model: Bourne, graph_like, u: int, v: int, edge_id: int,
+                    seed: int, rounds: int, max_batch: int,
+                    backend=None) -> Tuple[float, bool]:
+    """Uncached pure counterpart of :meth:`ScoringService.score_edge`.
+
+    Scores the canonical ``(min, max)`` endpoint pair through
+    :func:`score_service_span` and resolves the edge mean with
+    :func:`edge_mean_from_evidence`.  ``edge_id`` is the store's id for
+    the edge (computed by the caller, which owns the store — replica
+    workers only hold the shared read-only graph).  Returns ``(mean,
+    imputed)``, bitwise what the in-process service computes on the
+    same store state.
+    """
+    key = (min(int(u), int(v)), max(int(u), int(v)))
+    evidence = score_service_span(
+        model, graph_like, np.asarray(key, dtype=np.int64),
+        seed, rounds, max_batch, backend=backend)
+    scores = evidence.node_sum / rounds
+    means = mean_edge_rounds(rounds, [evidence])
+    return edge_mean_from_evidence(scores, means, int(edge_id))
+
+
 class PendingScore:
     """Handle for an enqueued request; resolved by ``flush()``."""
 
@@ -426,10 +465,10 @@ class ScoringService:
         version = self.store.version
         for node, score in zip(key, scores):
             self._node_table[int(node)] = (float(score), version)
-        mean = means.get(self.store.edge_id(*key))
-        if mean is None:
+        mean, imputed = edge_mean_from_evidence(
+            scores, means, self.store.edge_id(*key))
+        if imputed:
             self._edge_imputations += 1
-            mean = float(scores.mean())
         self._edge_scores[key] = (mean, version)
         return mean
 

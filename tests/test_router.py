@@ -1,0 +1,546 @@
+"""Routing-layer tests: named services, replica pools, tenant stores.
+
+Every integration test boots the asyncio gateway on an ephemeral
+127.0.0.1 port and talks to it over real TCP, covering the routing
+acceptance invariants: replica-pool scores are bitwise-identical to the
+single-service gateway (including after mutations fanned in through the
+single writer), a replica whose worker process is killed fails over
+without dropping requests, tenants are fully isolated (the same node id
+scores from each tenant's own store), lazily-booted tenants evict when
+idle and reboot on the next request, and services attach/detach under
+live traffic.
+"""
+
+import asyncio
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core import Bourne, BourneConfig, save_model
+from repro.datasets import load_benchmark
+from repro.gateway import Gateway
+from repro.gateway.router import (
+    ReplicaPool,
+    ServiceRouter,
+    TenantSpec,
+    build_tenant_service,
+    load_tenant_specs,
+    parse_tenant_spec,
+)
+from repro.graph import Graph
+from repro.serving import GraphStore, ModelRegistry, ScoringService
+
+
+def tiny_config(**overrides):
+    base = dict(hidden_dim=8, predictor_hidden=16, subgraph_size=4,
+                hop_size=2, epochs=1, eval_rounds=2, batch_size=16, seed=3)
+    base.update(overrides)
+    return BourneConfig(**base)
+
+
+def random_topology(seed=7, n=40, d=6, m=90):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, d))
+    edges = set()
+    while len(edges) < m:
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    return features, np.array(sorted(edges))
+
+
+def make_service(rounds=1, seed=3):
+    features, edges = random_topology()
+    model = Bourne(features.shape[1], tiny_config(seed=seed))
+    store = GraphStore.from_graph(Graph(features, edges), influence_radius=2)
+    return ScoringService(model, store, rounds=rounds)
+
+
+def run_with_gateway(client, service=None, **gateway_kwargs):
+    """Boot a gateway, run ``client(gateway, host, port)``, tear down."""
+    if service is None and "tenants" not in gateway_kwargs:
+        service = make_service()
+
+    async def scenario():
+        gateway = Gateway(service, **gateway_kwargs)
+        host, port = await gateway.start("127.0.0.1", 0)
+        try:
+            return await client(gateway, host, port)
+        finally:
+            await gateway.stop(drain_timeout=10.0)
+
+    return asyncio.run(scenario())
+
+
+async def ndjson_session(host, port, requests):
+    """One connection, requests sent and answered in order."""
+    reader, writer = await asyncio.open_connection(host, port)
+    responses = []
+    try:
+        for request in requests:
+            writer.write((json.dumps(request) + "\n").encode())
+            await writer.drain()
+            responses.append(json.loads(await reader.readline()))
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return responses
+
+
+async def ndjson_one(host, port, request):
+    return (await ndjson_session(host, port, [request]))[0]
+
+
+async def http_request(host, port, method, path, body=None, headers=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Content-Length: {len(payload)}\r\n")
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode() + payload)
+        await writer.drain()
+        status_line = (await reader.readline()).decode()
+        status = int(status_line.split()[1])
+        response_headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        body_bytes = await reader.read()
+        if "content-length" in response_headers:
+            body_bytes = body_bytes[:int(response_headers["content-length"])]
+        return status, response_headers, body_bytes.decode()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+def tenant_checkpoint(tmp_path, name, dataset="cora", scale=0.05, seed=0,
+                      model_seed=11):
+    """Save an (untrained, deterministic) checkpoint matching a tenant's
+    dataset; returns the checkpoint path."""
+    graph = load_benchmark(dataset, seed=seed, scale=scale)
+    model = Bourne(graph.num_features, tiny_config(seed=model_seed))
+    return save_model(model, str(tmp_path / f"{name}.npz"))
+
+
+# ----------------------------------------------------------------------
+# Tenant specs
+# ----------------------------------------------------------------------
+class TestTenantSpec:
+    def test_requires_exactly_one_model_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            TenantSpec(name="t").validate()
+        with pytest.raises(ValueError, match="exactly one"):
+            TenantSpec(name="t", model="m.npz", registry="root").validate()
+        assert TenantSpec(name="t", model="m.npz").validate().name == "t"
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_tenant_spec("t", {"model": "m.npz", "shards": 4})
+
+    def test_rejects_bad_replicas_and_name(self):
+        with pytest.raises(ValueError, match="replicas"):
+            TenantSpec(name="t", model="m.npz", replicas=0).validate()
+        with pytest.raises(ValueError, match="name"):
+            TenantSpec(name="", model="m.npz").validate()
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            parse_tenant_spec("t", ["model"])
+
+    def test_load_tenant_specs_bare_list(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(
+            [{"name": "a", "model": "a.npz"},
+             {"name": "b", "registry": "root", "replicas": 2}]))
+        specs = load_tenant_specs(str(path))
+        assert [s.name for s in specs] == ["a", "b"]
+        assert specs[1].replicas == 2
+
+    def test_load_tenant_specs_wrapped_object(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(
+            {"tenants": [{"name": "only", "model": "m.npz"}]}))
+        assert load_tenant_specs(str(path))[0].name == "only"
+
+    def test_load_tenant_specs_requires_names(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps([{"model": "m.npz"}]))
+        with pytest.raises(ValueError, match="name"):
+            load_tenant_specs(str(path))
+
+
+# ----------------------------------------------------------------------
+# Router unit behavior
+# ----------------------------------------------------------------------
+class TestServiceRouter:
+    def test_resolve_unknown_service_raises_key_error(self):
+        async def scenario():
+            router = ServiceRouter()
+            with pytest.raises(KeyError, match="unknown service"):
+                await router.resolve("nope")
+
+        asyncio.run(scenario())
+
+    def test_resolve_without_default_raises_value_error(self):
+        async def scenario():
+            router = ServiceRouter()
+            with pytest.raises(ValueError, match="no default service"):
+                await router.resolve(None)
+
+        asyncio.run(scenario())
+
+    def test_attach_detach_lifecycle_and_metrics(self):
+        from repro.gateway import MetricsRegistry
+
+        async def scenario():
+            metrics = MetricsRegistry()
+            router = ServiceRouter(metrics=metrics)
+            endpoint = router.make_endpoint("svc-a", make_service())
+            await router.attach(endpoint)
+            assert router.names() == ["svc-a"]
+            assert metrics.get("gateway_service_up_svc_a").value == 1
+            with pytest.raises(ValueError, match="already attached"):
+                await router.attach(router.make_endpoint(
+                    "svc-a", make_service()))
+            resolved = await router.resolve("svc-a")
+            assert resolved is endpoint
+            await router.detach("svc-a")
+            assert router.names() == []
+            assert metrics.get("gateway_service_up_svc_a") is None
+            with pytest.raises(KeyError):
+                await router.detach("svc-a")
+
+        asyncio.run(scenario())
+
+    def test_replica_pool_requires_two_replicas(self):
+        with pytest.raises(ValueError, match="replicas >= 2"):
+            ReplicaPool("p", make_service(), replicas=1)
+
+
+# ----------------------------------------------------------------------
+# Replica pools
+# ----------------------------------------------------------------------
+class TestReplicaPool:
+    def test_replica_scores_bitwise_equal_single_service(self):
+        """THE routing pin: every score served by a replica pool —
+        before and after mutations fanned in through the single writer
+        — is bitwise what the plain single-batcher gateway returns."""
+        reference = make_service()
+        ref_nodes = {n: reference.score_node(n) for n in range(20)}
+        _, edges = random_topology()
+        u, v = map(int, edges[0])
+        ref_edge = reference.score_edge(u, v)
+
+        async def scenario(gateway, host, port):
+            out = await ndjson_one(
+                host, port, {"op": "score", "nodes": list(range(20))})
+            assert out["ok"]
+            for n, score in ref_nodes.items():
+                assert out["scores"][str(n)] == score
+            edge_out = await ndjson_one(
+                host, port, {"op": "score_edge", "u": u, "v": v})
+            assert edge_out["score"] == ref_edge
+
+            # Mutations fan in through the writer and resync shared
+            # memory; post-mutation scores must stay bitwise-identical.
+            added = await ndjson_one(
+                host, port, {"op": "add_edge", "u": 0, "v": 39})
+            assert added["ok"] and added["added"]
+            reference.store.add_edge(0, 39)
+            new_features = [0.25] * reference.store.num_features
+            updated = await ndjson_one(
+                host, port, {"op": "update_features", "node": 5,
+                             "features": new_features})
+            assert updated["ok"]
+            reference.store.update_features(
+                [5], np.asarray([new_features], dtype=np.float64))
+            after = await ndjson_one(
+                host, port, {"op": "score", "nodes": [0, 5, 39]})
+            for n in (0, 5, 39):
+                assert after["scores"][str(n)] == reference.score_node(n)
+
+            stats = await ndjson_one(host, port, {"op": "stats"})
+            pool = stats["stats"]["replica_pool"]
+            assert pool["replicas"] == 2 and pool["healthy"] == 2
+            assert len(pool["pids"]) == 2
+            assert sum(pool["dispatched"]) > 0
+            return True
+
+        assert run_with_gateway(scenario, service=make_service(),
+                                replicas=2, max_batch=8, max_delay_ms=1.0,
+                                tracing=False)
+
+    def test_replica_failover_when_worker_dies(self):
+        """SIGKILLing one replica's worker process marks it unhealthy;
+        in-flight and subsequent requests retry on the survivors with
+        unchanged (bitwise) scores."""
+        reference = make_service()
+        expected = {n: reference.score_node(n) for n in range(8)}
+
+        async def scenario(gateway, host, port):
+            stats = await ndjson_one(host, port, {"op": "stats"})
+            pids = stats["stats"]["replica_pool"]["pids"]
+            assert len(pids) == 3
+            os.kill(pids[0], signal.SIGKILL)
+            outs = await asyncio.gather(
+                *(ndjson_one(host, port, {"op": "score", "nodes": [n]})
+                  for n in range(8)))
+            for n, out in enumerate(outs):
+                assert out["ok"], out
+                assert out["scores"][str(n)] == expected[n]
+            stats = await ndjson_one(host, port, {"op": "stats"})
+            pool = stats["stats"]["replica_pool"]
+            assert pool["healthy"] == 2
+            assert pool["failovers"] == 1
+            return True
+
+        assert run_with_gateway(scenario, service=make_service(),
+                                replicas=3, max_batch=8, max_delay_ms=1.0,
+                                tracing=False)
+
+    def test_replica_pool_hot_swap_from_registry(self, tmp_path):
+        """Model hot-swaps rebind the shared-memory model export: after
+        a reload every replica serves the new weights, bitwise-equal to
+        a direct service on the same checkpoint."""
+        features, edges = random_topology()
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        registry.publish(Bourne(features.shape[1], tiny_config(seed=3)),
+                         "pool-model")
+        registry.publish(Bourne(features.shape[1], tiny_config(seed=99)),
+                         "pool-model")
+        service = ScoringService(
+            registry.load("pool-model", 1),
+            GraphStore.from_graph(Graph(features, edges),
+                                  influence_radius=2), rounds=1)
+        reference = ScoringService(
+            registry.load("pool-model", 2),
+            GraphStore.from_graph(Graph(features, edges),
+                                  influence_radius=2), rounds=1)
+        expected = {n: reference.score_node(n) for n in range(6)}
+
+        async def scenario(gateway, host, port):
+            swap = await ndjson_one(host, port,
+                                    {"op": "reload", "version": 2})
+            assert swap["ok"] and swap["swapped"]
+            out = await ndjson_one(
+                host, port, {"op": "score", "nodes": list(range(6))})
+            for n, score in expected.items():
+                assert out["scores"][str(n)] == score
+            return True
+
+        assert run_with_gateway(
+            scenario, service=service, registry=registry,
+            model_name="pool-model", model_version=1, replicas=2,
+            max_batch=8, max_delay_ms=1.0, tracing=False)
+
+
+# ----------------------------------------------------------------------
+# Tenants
+# ----------------------------------------------------------------------
+class TestTenantRouting:
+    def test_tenant_isolation_bitwise(self, tmp_path):
+        """The same node id served from two tenants scores from each
+        tenant's own store — bitwise-equal to a directly built service
+        on that tenant's spec, and different across tenants."""
+        spec_a = TenantSpec(name="acme",
+                            model=tenant_checkpoint(tmp_path, "acme",
+                                                    seed=0, model_seed=11),
+                            dataset="cora", scale=0.05, seed=0, rounds=1)
+        spec_b = TenantSpec(name="globex",
+                            model=tenant_checkpoint(tmp_path, "globex",
+                                                    seed=5, model_seed=23),
+                            dataset="cora", scale=0.05, seed=5, rounds=1)
+        ref_a, _, _ = build_tenant_service(spec_a)
+        ref_b, _, _ = build_tenant_service(spec_b)
+        # Pick a node id the two tenants score differently (their
+        # stores differ; an untrained model still saturates some nodes)
+        # so the isolation assertion below is meaningful.
+        node = next(n for n in range(ref_a.store.num_nodes)
+                    if ref_a.score_node(n) != ref_b.score_node(n))
+        expected_a = ref_a.score_node(node)
+        expected_b = ref_b.score_node(node)
+        assert expected_a != expected_b  # different stores, same node id
+
+        async def scenario(gateway, host, port):
+            out_a = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [node], "service": "acme"})
+            out_b = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [node], "service": "globex"})
+            assert out_a["scores"][str(node)] == expected_a
+            assert out_b["scores"][str(node)] == expected_b
+
+            # HTTP path prefix and header routing hit the same stores.
+            status, _, body = await http_request(
+                host, port, "POST", "/v1/t/acme/score_node",
+                {"node": node})
+            assert status == 200
+            assert json.loads(body)["scores"][str(node)] == expected_a
+            status, _, body = await http_request(
+                host, port, "POST", "/v1/score_node", {"node": node},
+                headers={"X-Repro-Service": "globex"})
+            assert status == 200
+            assert json.loads(body)["scores"][str(node)] == expected_b
+
+            # A mutation in one tenant never leaks into the other.
+            await ndjson_one(host, port,
+                             {"op": "add_edge", "u": 0, "v": 1,
+                              "service": "acme"})
+            ref_a.store.add_edge(0, 1)
+            out_b2 = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [node], "service": "globex"})
+            assert out_b2["scores"][str(node)] == expected_b
+            out_a2 = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [node], "service": "acme"})
+            assert out_a2["scores"][str(node)] == ref_a.score_node(node)
+            return True
+
+        assert run_with_gateway(scenario, tenants=[spec_a, spec_b],
+                                max_batch=8, max_delay_ms=1.0,
+                                tracing=False)
+
+    def test_lazy_boot_and_idle_eviction(self, tmp_path):
+        """Tenants boot on first request, evict after idle_ttl with no
+        in-flight traffic, and reboot (bitwise-identically) on the next
+        request."""
+        spec = TenantSpec(name="lazy",
+                          model=tenant_checkpoint(tmp_path, "lazy"),
+                          dataset="cora", scale=0.05, seed=0, rounds=1)
+        ref, _, _ = build_tenant_service(spec)
+        expected = ref.score_node(3)
+
+        async def scenario(gateway, host, port):
+            assert gateway.router.names() == []  # nothing booted yet
+            out = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [3], "service": "lazy"})
+            assert out["scores"]["3"] == expected
+            assert gateway.router.names() == ["lazy"]
+
+            for _ in range(100):  # sweeper runs every idle_ttl / 4
+                await asyncio.sleep(0.05)
+                if not gateway.router.names():
+                    break
+            assert gateway.router.names() == []  # evicted while idle
+            assert gateway.router.spec_names() == ["lazy"]
+
+            again = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [3], "service": "lazy"})
+            assert again["scores"]["3"] == expected  # rebooted from spec
+            return True
+
+        assert run_with_gateway(scenario, tenants=[spec], idle_ttl=0.2,
+                                max_batch=8, max_delay_ms=1.0,
+                                tracing=False)
+
+    def test_attach_detach_under_live_traffic(self, tmp_path):
+        """attach_service / detach_service admin ops take effect while
+        the default service keeps answering, with no failed requests on
+        the untouched route."""
+        spec_payload = {"model": tenant_checkpoint(tmp_path, "hot"),
+                        "dataset": "cora", "scale": 0.05, "seed": 0,
+                        "rounds": 1}
+        ref, _, _ = build_tenant_service(
+            parse_tenant_spec("hot", spec_payload))
+        expected = ref.score_node(2)
+
+        async def scenario(gateway, host, port):
+            stop = asyncio.Event()
+            outcomes = []
+
+            async def hammer():
+                while not stop.is_set():
+                    out = await ndjson_one(host, port,
+                                           {"op": "score", "nodes": [1]})
+                    outcomes.append(out["ok"])
+
+            traffic = asyncio.ensure_future(hammer())
+            attached = await ndjson_one(
+                host, port, {"op": "attach_service", "name": "hot",
+                             "spec": spec_payload})
+            assert attached["ok"] and attached["attached"]
+            out = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [2], "service": "hot"})
+            assert out["scores"]["2"] == expected
+
+            listed = await ndjson_one(host, port, {"op": "services"})
+            names = [s["service"] for s in listed["services"]]
+            assert names == ["default", "hot"]
+
+            detached = await ndjson_one(
+                host, port, {"op": "detach_service", "name": "hot"})
+            assert detached["ok"] and detached["detached"]
+            gone = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [2], "service": "hot"})
+            assert not gone["ok"]
+            assert gone["error_type"] == "KeyError" and gone["code"] == 400
+
+            stop.set()
+            await traffic
+            assert outcomes and all(outcomes)
+            return True
+
+        assert run_with_gateway(scenario, max_batch=8, max_delay_ms=1.0,
+                                tracing=False)
+
+    def test_attach_requires_spec_and_name(self):
+        async def scenario(gateway, host, port):
+            missing_name = await ndjson_one(
+                host, port, {"op": "attach_service"})
+            assert not missing_name["ok"]
+            assert missing_name["error_type"] == "ValueError"
+            missing_spec = await ndjson_one(
+                host, port, {"op": "attach_service", "name": "x"})
+            assert not missing_spec["ok"]
+            assert "spec" in missing_spec["error"]
+            bad_spec = await ndjson_one(
+                host, port, {"op": "attach_service", "name": "x",
+                             "spec": {"model": "m", "bogus": 1}})
+            assert not bad_spec["ok"]
+            assert "unknown keys" in bad_spec["error"]
+            return True
+
+        assert run_with_gateway(scenario, tracing=False)
+
+    def test_unknown_service_and_no_default_errors(self, tmp_path):
+        spec = TenantSpec(name="solo",
+                          model=tenant_checkpoint(tmp_path, "solo"),
+                          dataset="cora", scale=0.05, seed=0, rounds=1)
+
+        async def scenario(gateway, host, port):
+            unknown = await ndjson_one(
+                host, port,
+                {"op": "score", "nodes": [0], "service": "ghost"})
+            assert not unknown["ok"]
+            assert unknown["error_type"] == "KeyError"
+            assert unknown["code"] == 400
+            no_default = await ndjson_one(
+                host, port, {"op": "score", "nodes": [0]})
+            assert not no_default["ok"]
+            assert "no default service" in no_default["error"]
+            bad_type = await ndjson_one(
+                host, port, {"op": "score", "nodes": [0], "service": 7})
+            assert not bad_type["ok"]
+            assert bad_type["error_type"] == "ValueError"
+            return True
+
+        assert run_with_gateway(scenario, tenants=[spec], tracing=False)
