@@ -10,12 +10,19 @@ graceful SIGINT shutdown.  A second boot exercises the routing layer:
 ``--replicas 3 --tenants`` brings up a replica pool plus two lazy
 tenants, drives mixed traffic across all of them, SIGKILLs one replica
 mid-run (traffic must survive, scores must stay bitwise-stable), and
-attaches/detaches a service under load.  Exits non-zero on the first
-failed check — the CI gateway-smoke job runs this against every push.
+attaches/detaches a service under load.  A third boot exercises the
+continual-learning loop: ``--autotrain policy.json`` starts the
+lifecycle controller, a feature-drift burst must trigger a background
+retrain that validates and hot-swaps with scoring alive throughout, a
+NaN model published behind the controller's back must be guarded and
+rolled back automatically, and pause/resume work over both transports.
+Exits non-zero on the first failed check — the CI gateway-smoke job
+runs this against every push.
 """
 
 import asyncio
 import json
+import math
 import os
 import signal
 import subprocess
@@ -272,6 +279,125 @@ async def drive_router(host, port, registry_dir):
           "detached service no longer routable")
 
 
+async def drive_autotrain(host, port, registry_dir):
+    print("lifecycle surface...")
+    status, body = await http_request(host, port, "GET", "/healthz")
+    payload = json.loads(body)
+    base_version = payload["model_version"]
+    check(status == 200 and payload.get("lifecycle") == "idle",
+          "healthz reports the controller idle")
+    status, body = await http_request(host, port, "GET", "/v1/lifecycle")
+    lifecycle = json.loads(body)
+    check(status == 200 and lifecycle["ok"]
+          and lifecycle["state"] == "idle"
+          and lifecycle["counters"]["triggers"] == 0,
+          "GET /v1/lifecycle status")
+
+    print("drift burst -> automatic retrain -> hot swap...")
+    features = json.loads(os.environ["SMOKE_FEATURES"])
+    burst = await ndjson_session(host, port, [
+        {"op": "update_features", "node": n,
+         "features": [f + 0.5 for f in features]}
+        for n in range(8)])
+    check(all(r["ok"] for r in burst), "8-node feature-drift burst applied")
+    swapped, scored = None, 0
+    for _ in range(600):
+        probe = await ndjson_session(host, port, [
+            {"op": "score", "nodes": [scored % 20]},
+            {"op": "lifecycle_status"}])
+        check(probe[0]["ok"], "scoring alive during the retrain cycle")
+        scored += 1
+        status, body = await http_request(host, port, "GET", "/healthz")
+        health = json.loads(body)
+        counters = probe[1]["counters"]
+        if (counters["retrains_completed"] >= 1
+                and health["model_version"] > base_version):
+            swapped = health["model_version"]
+            break
+        await asyncio.sleep(0.2)
+    check(swapped is not None and counters["triggers"] >= 1
+          and counters["validations_accepted"] >= 1,
+          f"drift triggered a background retrain; candidate validated and "
+          f"hot-swapped (v{base_version} -> v{swapped}, "
+          f"{scored} live scores meanwhile)")
+    status, body = await http_request(host, port, "GET", "/metrics")
+    check(status == 200 and "lifecycle_triggers" in body
+          and "lifecycle_retrains_completed" in body,
+          "/metrics exports lifecycle counters")
+
+    print("regressed publish -> guardrail -> automatic rollback...")
+    registry = ModelRegistry(registry_dir)
+    bad = registry.load("smoke", swapped)
+    next(iter(bad.online.named_parameters()))[1].data[...] = float("nan")
+    bad_version = registry.publish(bad, "smoke")
+    restored = None
+    for _ in range(600):
+        status, body = await http_request(host, port, "GET", "/healthz")
+        health = json.loads(body)
+        lifecycle = (await ndjson_session(
+            host, port, [{"op": "lifecycle_status"}]))[0]
+        if (lifecycle["counters"]["rollbacks"] >= 1
+                and health["model_version"] > bad_version):
+            restored = health["model_version"]
+            break
+        await asyncio.sleep(0.2)
+    check(restored is not None and lifecycle["last_guard"]["regressed"],
+          f"guardrail caught the NaN model and rolled back "
+          f"(v{bad_version} -> v{restored})")
+    after = await ndjson_session(host, port, [{"op": "score", "nodes": [3]}])
+    check(after[0]["ok"] and math.isfinite(after[0]["scores"]["3"]),
+          "scores finite again after rollback")
+
+    print("pause/resume over the wire...")
+    status, body = await http_request(host, port, "POST", "/v1/lifecycle",
+                                      {"action": "pause"})
+    check(status == 200 and json.loads(body)["ok"], "POST /v1/lifecycle pause")
+    paused = await ndjson_session(host, port, [{"op": "lifecycle_status"}])
+    check(paused[0]["state"] == "paused", "controller paused")
+    resumed = await ndjson_session(host, port, [
+        {"op": "lifecycle", "action": "resume"},
+        {"op": "lifecycle_status"}])
+    check(resumed[0]["ok"] and resumed[1]["state"] == "idle",
+          "NDJSON lifecycle resume")
+
+
+def autotrain_phase(tmp, registry_dir, env):
+    policy_path = os.path.join(tmp, "autotrain.json")
+    with open(policy_path, "w") as handle:
+        json.dump({"drift_threshold": 0.05, "mutation_threshold": 6,
+                   "check_interval_s": 0.2, "epochs": 1,
+                   "probe_size": 8, "auc_margin": 1.0}, handle)
+    print("\nbooting: python -m repro serve --autotrain ...")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--registry", registry_dir, "--name", "smoke",
+         "--dataset", DATASET, "--scale", str(SCALE), "--rounds", "1",
+         "--listen", "127.0.0.1:0", "--max-batch", "8",
+         "--max-delay-ms", "5", "--max-queue", "64",
+         "--poll-interval", "0.2", "--autotrain", policy_path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+    try:
+        ready = json.loads(process.stdout.readline())
+        check(ready["op"] == "ready", "autotrain server announced readiness")
+        host, port = ready["listen"].rsplit(":", 1)
+        asyncio.run(drive_autotrain(host, int(port), registry_dir))
+
+        print("graceful shutdown (SIGINT)...")
+        process.send_signal(signal.SIGINT)
+        code = process.wait(timeout=30)
+        check(code == 0, f"clean exit (code {code})")
+    except Exception:
+        process.kill()
+        _, stderr = process.communicate(timeout=10)
+        print("--- autotrain server stderr ---", file=sys.stderr)
+        print(stderr, file=sys.stderr)
+        raise
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
 def router_phase(tmp, registry_dir, env):
     spec_path = os.path.join(tmp, "tenants.json")
     with open(spec_path, "w") as handle:
@@ -366,6 +492,7 @@ def main() -> int:
                 process.wait(timeout=10)
 
         router_phase(tmp, registry_dir, env)
+        autotrain_phase(tmp, registry_dir, env)
     print("\ngateway smoke test PASSED")
     return 0
 

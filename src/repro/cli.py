@@ -154,6 +154,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds between registry checks for newly "
                             "published model versions to hot-swap "
                             "(with --registry; default: no watching)")
+    serve.add_argument("--autotrain", metavar="POLICY.json", default=None,
+                       help="enable the continual-learning controller: a "
+                            "JSON trigger policy (drift_threshold, "
+                            "mutation_threshold, check_interval_s, epochs, "
+                            "...) drives background retrains, candidate "
+                            "validation, zero-downtime publishes, and "
+                            "automatic rollback (requires --listen and "
+                            "--registry; pair with --poll-interval so the "
+                            "watcher swaps published candidates)")
     serve.add_argument("--no-trace", action="store_true",
                        help="disable request tracing (the flight recorder "
                             "and /v1/trace endpoints; tracing is on by "
@@ -339,6 +348,10 @@ def _cmd_serve(args) -> int:
         raise SystemExit("--replicas must be >= 1")
     if args.replicas > 1 and not args.listen:
         raise SystemExit("--replicas requires --listen")
+    if args.autotrain and not (args.listen and args.registry):
+        raise SystemExit("--autotrain requires --listen and --registry "
+                         "(candidates publish through the registry and the "
+                         "gateway ticks the controller)")
 
     tenants = None
     if args.tenants:
@@ -383,11 +396,24 @@ def _cmd_serve(args) -> int:
         host, _, port = args.listen.rpartition(":")
         if not host or not port.isdigit() or int(port) > 65535:
             raise SystemExit(f"--listen expects HOST:PORT, got {args.listen!r}")
+        lifecycle = None
+        lifecycle_interval = None
+        if args.autotrain:
+            from .lifecycle import LifecycleController, load_settings
+
+            settings = load_settings(args.autotrain)
+            lifecycle = LifecycleController.from_settings(
+                service, registry, args.name, settings,
+                workers=(settings.workers if settings.workers is not None
+                         else args.workers))
+            lifecycle_interval = settings.check_interval_s
         try:
             asyncio.run(run_gateway(
                 service, host, int(port),
                 registry=registry, model_name=args.name,
                 model_version=model_version,
+                lifecycle=lifecycle,
+                lifecycle_interval=lifecycle_interval,
                 max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
                 max_queue=args.max_queue, rate=args.rate_limit,
                 burst=args.burst, refresh_workers=args.workers,

@@ -332,7 +332,9 @@ class BourneTrainer:
                 self.model.update_target()
             if runner is not None:
                 with obs_trace.span("train.mailbox"):
-                    runner.publish()
+                    # Ship only the parameters this step rewrote;
+                    # workers memcpy the same delta, not the model.
+                    runner.publish_step(grads)
         return loss_value
 
     def fit(self, graph: Graph, epochs: Optional[int] = None,

@@ -12,8 +12,9 @@
   answers.
 * **HTTP/1.1 adapter** — ``POST /v1/score_node``, ``POST
   /v1/score_edge``, ``POST /v1/update``, ``POST /v1/reload``, ``POST
-  /v1/admin``, ``GET /healthz``, ``GET /metrics`` (Prometheus text),
-  ``GET /v1/stats``, ``GET /v1/services``.  Keep-alive supported;
+  /v1/admin``, ``POST /v1/lifecycle``, ``GET /healthz``, ``GET
+  /metrics`` (Prometheus text), ``GET /v1/stats``, ``GET
+  /v1/services``, ``GET /v1/lifecycle``.  Keep-alive supported;
   bodies are JSON.  Routing: the ``/v1/t/<service>/...`` path prefix
   or the ``X-Repro-Service`` header select a named service.
 
@@ -80,11 +81,15 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 _KNOWN_OPS = frozenset({"score", "score_edge", "add_node", "add_edge",
                         "update_features", "refresh", "compact", "stats",
                         "reload", "attach_service", "detach_service",
-                        "services"})
+                        "services", "lifecycle_status", "lifecycle"})
 
 #: Router administration ops — handled by the gateway itself, before
 #: (and without) endpoint resolution.
 _ADMIN_OPS = frozenset({"attach_service", "detach_service", "services"})
+
+#: Continual-learning controller ops — also gateway-level, answered by
+#: the attached :class:`~repro.lifecycle.LifecycleController`.
+_LIFECYCLE_OPS = frozenset({"lifecycle_status", "lifecycle"})
 
 
 class Gateway:
@@ -126,6 +131,17 @@ class Gateway:
     start_method:
         Multiprocessing start method for replica pools (default: fork
         where available).
+    lifecycle / lifecycle_interval:
+        Optional :class:`~repro.lifecycle.LifecycleController` for the
+        default service.  The gateway rewires its store hooks onto the
+        scoring thread (snapshots/signal reads never race batches),
+        reports the endpoint's actually-served version to the
+        guardrail, and — when ``lifecycle_interval`` is set — ticks the
+        controller in a background task every that many seconds.
+        Admin surface: the ``lifecycle_status`` op / ``GET
+        /v1/lifecycle``, and ``{"op": "lifecycle", "action":
+        trigger|pause|resume|rollback}`` / ``POST /v1/lifecycle``.
+        ``lifecycle_interval=None`` leaves ticking to those admin ops.
     tracing / trace_slow_ms / recorder:
         Request tracing: every admitted request runs under a
         ``gateway.<op>`` trace recorded into a
@@ -151,6 +167,8 @@ class Gateway:
                  idle_ttl: Optional[float] = None,
                  lazy_tenants: bool = True,
                  start_method: Optional[str] = None,
+                 lifecycle=None,
+                 lifecycle_interval: Optional[float] = None,
                  tracing: bool = True,
                  trace_slow_ms: float = 250.0,
                  recorder: Optional[FlightRecorder] = None):
@@ -185,9 +203,12 @@ class Gateway:
             self.recorder = None
         self._prev_recorder: Optional[FlightRecorder] = None
         self._op_latency = {}
+        self.lifecycle = lifecycle
+        self.lifecycle_interval = lifecycle_interval
         self._server: Optional[asyncio.base_events.Server] = None
         self._watcher: Optional[asyncio.Task] = None
         self._sweeper: Optional[asyncio.Task] = None
+        self._lifecycle: Optional[asyncio.Task] = None
         self._requests_total = self.metrics.counter(
             "gateway_requests_total", "requests received (all transports)")
         self._shed_total = self.metrics.counter(
@@ -261,14 +282,42 @@ class Gateway:
             self._watcher = asyncio.ensure_future(self._watch_registry())
         if self.idle_ttl is not None:
             self._sweeper = asyncio.ensure_future(self._sweep_idle())
+        if self.lifecycle is not None and self._default is not None:
+            self._wire_lifecycle()
+            if self.lifecycle_interval is not None:
+                self._lifecycle = asyncio.ensure_future(
+                    self._lifecycle_loop())
         sock = self._server.sockets[0].getsockname()
         return sock[0], sock[1]
+
+    def _wire_lifecycle(self) -> None:
+        """Point the controller's deployment hooks at this gateway.
+
+        Store reads (snapshot + drift/churn signal) are serialized onto
+        the default endpoint's scoring thread — the controller ticks in
+        an executor thread, so ``run_coroutine_threadsafe`` back into
+        the loop is safe — and the guardrail watches the version the
+        endpoint *actually* serves, not merely the registry's latest.
+        """
+        endpoint = self._default
+        controller = self.lifecycle
+        loop = asyncio.get_running_loop()
+
+        def on_scoring_thread(fn):
+            return asyncio.run_coroutine_threadsafe(
+                endpoint.submit(fn), loop).result()
+
+        controller.served_version_fn = lambda: endpoint.served_version
+        controller.snapshot_fn = lambda: on_scoring_thread(
+            endpoint.service.store.snapshot)
+        controller.signal_fn = lambda: on_scoring_thread(
+            controller._read_signal)
 
     async def stop(self, drain_timeout: float = 30.0) -> bool:
         """Graceful shutdown: stop accepting, drain in-flight requests,
         stop every endpoint.  Returns ``True`` if the drain completed
         inside ``drain_timeout``."""
-        for task_attr in ("_watcher", "_sweeper"):
+        for task_attr in ("_watcher", "_sweeper", "_lifecycle"):
             task = getattr(self, task_attr)
             if task is not None:
                 task.cancel()
@@ -281,6 +330,11 @@ class Gateway:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.lifecycle is not None:
+            # Tick task is already cancelled; tear the retrain executor
+            # down off-loop (an in-flight retrain is abandoned).
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.lifecycle.close, False)
         self.admission.begin_drain()
         drained = await self.admission.wait_drained(drain_timeout)
         await self.router.stop_all()
@@ -417,6 +471,8 @@ class Gateway:
                     trace_id = buffer.trace_id
                 if op in _ADMIN_OPS:
                     response = await self._admin_op(request)
+                elif op in _LIFECYCLE_OPS:
+                    response = await self._lifecycle_op(request)
                 else:
                     endpoint = await self.router.resolve(name)
                     endpoint.touch()
@@ -460,7 +516,12 @@ class Gateway:
         # Mutations / stats / refresh run serialized on the endpoint's
         # scoring thread, FIFO with forward batches (replica pools add
         # the quiesce + shared-memory resync around mutations).
-        return await endpoint.run_op(request, self.refresh_workers)
+        response = await endpoint.run_op(request, self.refresh_workers)
+        if (op == "stats" and self.lifecycle is not None
+                and endpoint is self._default and response.get("ok")):
+            response["lifecycle"] = {"state": self.lifecycle.state,
+                                     **self.lifecycle.counters()}
+        return response
 
     async def _admin_op(self, request: dict) -> dict:
         """Router administration: attach/detach services, list them."""
@@ -489,6 +550,64 @@ class Gateway:
         await self.router.detach(name,
                                  keep_spec=bool(request.get("keep_spec")))
         return {"ok": True, "op": op, "service": name, "detached": True}
+
+    async def _lifecycle_op(self, request: dict) -> dict:
+        """Continual-learning controller surface.
+
+        ``lifecycle_status`` reads the controller; ``lifecycle`` with
+        ``action`` trigger/pause/resume/rollback drives it.  Controller
+        calls block (they take its lock and may probe models), so they
+        run in an executor thread, never on the event loop.
+        """
+        if self.lifecycle is None:
+            raise ValueError("no lifecycle controller configured "
+                             "(serve with --autotrain)")
+        op = request["op"]
+        loop = asyncio.get_running_loop()
+        if op == "lifecycle_status":
+            status = await loop.run_in_executor(None, self.lifecycle.status)
+            return {"ok": True, "op": op, **status}
+        action = request.get("action")
+        if action == "trigger":
+            result = await loop.run_in_executor(
+                None, self.lifecycle.trigger,
+                str(request.get("reason", "manual")))
+        elif action == "pause":
+            result = await loop.run_in_executor(None, self.lifecycle.pause)
+        elif action == "resume":
+            result = await loop.run_in_executor(None, self.lifecycle.resume)
+        elif action == "rollback":
+            result = await loop.run_in_executor(
+                None, self.lifecycle.rollback,
+                str(request.get("reason", "manual rollback")))
+        elif action == "status":
+            result = await loop.run_in_executor(None, self.lifecycle.status)
+        else:
+            raise ValueError(
+                "lifecycle 'action' must be one of trigger, pause, resume, "
+                "rollback, status")
+        return {"ok": True, "op": op, "action": action, **result}
+
+    async def _lifecycle_loop(self) -> None:
+        """Tick the lifecycle controller on its cadence.
+
+        A tick that collects a finished retrain validates and publishes
+        inline (executor thread), so one tick can take seconds; the
+        loop simply resumes its cadence afterwards.  Tick failures are
+        logged and never kill the loop — the controller records its own
+        ``last_error`` for the status surface.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.lifecycle_interval)
+            try:
+                await loop.run_in_executor(None, self.lifecycle.tick)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                self._errors_total.inc()
+                log_event(LOGGER, logging.WARNING, "lifecycle tick failed",
+                          error=str(error), error_type=type(error).__name__)
 
     # ------------------------------------------------------------------
     # Model hot-swap
@@ -655,6 +774,11 @@ class Gateway:
                 response = await self.dispatch({"op": "services"}, client)
                 return (200 if response.get("ok")
                         else response.get("code", 500)), response, None
+            if path == "/v1/lifecycle":
+                response = await self.dispatch({"op": "lifecycle_status"},
+                                               client)
+                return (200 if response.get("ok")
+                        else response.get("code", 500)), response, None
             if path.startswith("/v1/trace/"):
                 return self._trace_route(path[len("/v1/trace/"):])
             if path == "/v1/traces":
@@ -690,6 +814,8 @@ class Gateway:
                 return 400, transport_error(
                     "admin op must be one of "
                     + ", ".join(sorted(_ADMIN_OPS)), "BadRequest", 400), None
+        elif path == "/v1/lifecycle":
+            request["op"] = "lifecycle"
         else:
             return 404, transport_error(f"no route POST {path}",
                                         "NotFound", 404), None
@@ -712,6 +838,8 @@ class Gateway:
             body["model_version"] = default.served_version
             body["num_nodes"] = default.service.store.num_nodes
             body["num_edges"] = default.service.store.num_edges
+        if self.lifecycle is not None:
+            body["lifecycle"] = self.lifecycle.state
         return body
 
     def _trace_route(self, trace_id: str):
@@ -773,6 +901,11 @@ class Gateway:
                 "service_cache_hit_rate",
                 "subgraph cache hits / lookups").set(
                     hits / (hits + misses) if hits + misses else 0.0)
+        if self.lifecycle is not None:
+            for key, value in self.lifecycle.counters().items():
+                self.metrics.gauge(
+                    f"lifecycle_{key}",
+                    f"lifecycle controller {key}").set(float(value))
         text = self.metrics.render()
         # Fold in process-wide metrics other layers registered into the
         # global registry (gateway-owned names win on collision).

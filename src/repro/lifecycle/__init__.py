@@ -1,0 +1,34 @@
+"""Continual-learning lifecycle: drift-triggered retraining, candidate
+validation, zero-downtime publish, and automatic rollback.
+
+The controller (:class:`LifecycleController`) watches a live
+:class:`~repro.serving.store.GraphStore`'s drift/churn counters,
+retrains in a background process on snapshots, validates candidates
+against the live model, publishes accepted ones to the
+:class:`~repro.serving.registry.ModelRegistry` (the gateway watcher
+hot-swaps them), and rolls back automatically when a swapped model
+regresses past the guardrail.
+"""
+
+from .controller import LifecycleController
+from .policy import (LifecycleSettings, TriggerPolicy, TriggerState,
+                     load_settings, parse_settings)
+from .rollback import GuardReport, evaluate_guardrail, republish_version
+from .validate import (ValidationReport, probe_nodes, probe_scores,
+                       validate_candidate)
+
+__all__ = [
+    "LifecycleController",
+    "LifecycleSettings",
+    "TriggerPolicy",
+    "TriggerState",
+    "load_settings",
+    "parse_settings",
+    "GuardReport",
+    "evaluate_guardrail",
+    "republish_version",
+    "ValidationReport",
+    "probe_nodes",
+    "probe_scores",
+    "validate_candidate",
+]

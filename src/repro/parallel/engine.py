@@ -173,9 +173,15 @@ class WorkerPool:
         """The model currently occupying the pool's parameter slot."""
         return self._bound_model
 
-    def publish_model(self, model: Bourne) -> ModelRef:
+    def publish_model(self, model: Bourne, changed=None) -> ModelRef:
         """Bind ``model`` (first call / model change) or republish its
-        current parameter values; returns the ref tasks should carry."""
+        current parameter values; returns the ref tasks should carry.
+
+        ``changed`` (qualified parameter names) limits a republish to
+        the parameters the last step rewrote — workers then memcpy only
+        those deltas.  It is ignored on a fresh bind, which always
+        exports everything.
+        """
         self._check_open()
         if self._bound_model is not model or self._model_export is None:
             export = SharedModelExport.create(model)
@@ -186,8 +192,9 @@ class WorkerPool:
             self._model_version = 0
             self._bound_model = model
         else:
-            self._model_export.publish(model)
             self._model_version += 1
+            self._model_export.publish(model, self._model_version,
+                                       changed=changed)
         return ModelRef(
             self._model_token, self._model_version, self._model_export.spec
         )

@@ -273,18 +273,45 @@ def _named_model_parameters(model):
             yield prefix + name, param
 
 
+def changed_parameter_names(model, grads) -> frozenset:
+    """Qualified names of every parameter one optimizer step touches.
+
+    ``grads`` is the merged per-parameter gradient list aligned with
+    ``model.trainable_parameters()`` (``None`` entries mean no chunk
+    touched that parameter, so Adam skips it entirely and its value is
+    bit-identical afterwards).  On top of the gradient-bearing
+    parameters, the EMA target update rewrites every ``target.*``
+    parameter each step — unless ``grad_through_target`` put the
+    target parameters in the trainable list instead.
+    """
+    by_id = {id(param): name
+             for name, param in _named_model_parameters(model)}
+    changed = {by_id[id(param)]
+               for param, grad in zip(model.trainable_parameters(), grads)
+               if grad is not None}
+    if not model.config.grad_through_target:
+        changed.update(name for name in by_id.values()
+                       if name.startswith("target."))
+    return frozenset(changed)
+
+
 @dataclass(frozen=True)
 class SharedModelSpec:
     """Everything a worker needs to rebuild and refresh the model.
 
     ``config`` (a plain dataclass) and ``num_features`` travel by
     pickle once per task — they are tiny; the parameter *values* live
-    in the shared-memory ``arrays``.
+    in the shared-memory ``arrays``.  ``names`` fixes the parameter
+    order and ``stamps`` is one shared ``int64`` per parameter holding
+    the version that last rewrote it, so workers refresh only the
+    parameters that actually changed since their copy.
     """
 
     num_features: int
     config: object
     arrays: Dict[str, SharedArraySpec]
+    names: Tuple[str, ...] = ()
+    stamps: Optional[SharedArraySpec] = None
 
 
 class SharedModelExport:
@@ -303,10 +330,13 @@ class SharedModelExport:
         spec: SharedModelSpec,
         blocks: List[shared_memory.SharedMemory],
         views: Dict[str, np.ndarray],
+        stamps: Optional[np.ndarray] = None,
     ):
         self.spec = spec
         self._blocks = blocks
         self._views = views
+        self._stamps = stamps
+        self._index = {name: i for i, name in enumerate(spec.names)}
 
     @classmethod
     def create(cls, model) -> "SharedModelExport":
@@ -314,30 +344,57 @@ class SharedModelExport:
         blocks: List[shared_memory.SharedMemory] = []
         views: Dict[str, np.ndarray] = {}
         specs: Dict[str, SharedArraySpec] = {}
+        names: List[str] = []
         try:
             for name, param in _named_model_parameters(model):
                 value = np.ascontiguousarray(param.data)
                 spec = _export_array(value, blocks)
                 specs[name] = spec
+                names.append(name)
                 if spec.shm_name is not None:
                     views[name] = np.ndarray(
                         value.shape, dtype=value.dtype, buffer=blocks[-1].buf
                     )
+            # Per-parameter last-write versions; version 0 is the
+            # initial full export every worker starts from.
+            stamp_values = np.zeros(len(names), dtype=np.int64)
+            stamp_spec = _export_array(stamp_values, blocks)
+            stamps = (np.ndarray(stamp_values.shape, dtype=np.int64,
+                                 buffer=blocks[-1].buf)
+                      if stamp_spec.shm_name is not None else None)
         except Exception:
             for block in blocks:
                 block.close()
                 block.unlink()
             raise
         return cls(
-            SharedModelSpec(model.num_features, model.config, specs), blocks, views
+            SharedModelSpec(model.num_features, model.config, specs,
+                            names=tuple(names), stamps=stamp_spec),
+            blocks, views, stamps,
         )
 
-    def publish(self, model) -> None:
-        """Copy the model's current parameter values into the segments."""
+    def publish(self, model, version: Optional[int] = None,
+                changed=None) -> None:
+        """Copy current parameter values into the segments.
+
+        ``changed`` (an iterable of qualified names, e.g. from
+        :func:`changed_parameter_names`) restricts the copy to the
+        parameters an optimizer step actually rewrote — per-step
+        republishing then moves only the touched deltas instead of the
+        whole model.  ``changed=None`` copies everything.  ``version``
+        stamps the copied parameters so attached workers can skip the
+        rest on their next :meth:`AttachedModel.load`.
+        """
+        if changed is not None:
+            changed = set(changed)
         for name, param in _named_model_parameters(model):
+            if changed is not None and name not in changed:
+                continue
             view = self._views.get(name)
             if view is not None:
                 view[...] = param.data
+            if version is not None and self._stamps is not None:
+                self._stamps[self._index[name]] = version
 
     def destroy(self) -> None:
         """Close and unlink every segment (idempotent)."""
@@ -356,7 +413,11 @@ class AttachedModel:
 
     :meth:`load` refreshes the private parameter copies from the shared
     segments when the parent's version counter moved; versions only
-    change between task waves, so a plain comparison suffices.
+    change between task waves, so a plain comparison suffices.  With
+    per-parameter stamps attached, only parameters whose last-write
+    stamp is newer than this worker's copy are refreshed — per-step
+    delta publishes cost each worker a handful of ``memcpy``\\ s, not a
+    whole-model copy.
     """
 
     def __init__(
@@ -364,18 +425,35 @@ class AttachedModel:
         model,
         views: Dict[str, np.ndarray],
         blocks: List[shared_memory.SharedMemory],
+        stamps: Optional[np.ndarray] = None,
+        names: Tuple[str, ...] = (),
     ):
         self.model = model
         self._views = views
         self._blocks = blocks
+        self._stamps = stamps
+        self._names = names
         self._version: Optional[int] = None
 
     def load(self, version: int) -> "AttachedModel":
-        if version != self._version:
-            params = dict(_named_model_parameters(self.model))
+        if version == self._version:
+            return self
+        params = dict(_named_model_parameters(self.model))
+        if self._version is None or self._stamps is None:
+            # First bind (or no stamp channel): copy everything.
             for name, view in self._views.items():
                 params[name].data[...] = view
-            self._version = version
+        else:
+            # Stamps are written before the version is announced and
+            # only while no tasks are outstanding, so a stamp newer
+            # than our copy is exactly the changed set.
+            since = self._version
+            for i, name in enumerate(self._names):
+                if self._stamps[i] > since:
+                    view = self._views.get(name)
+                    if view is not None:
+                        params[name].data[...] = view
+        self._version = version
         return self
 
     def close(self) -> None:
@@ -402,6 +480,7 @@ def attach_shared_model(spec: SharedModelSpec) -> AttachedModel:
     model = Bourne(spec.num_features, spec.config)
     blocks: List[shared_memory.SharedMemory] = []
     views: Dict[str, np.ndarray] = {}
+    stamps = None
     try:
         for name, array_spec in spec.arrays.items():
             if array_spec.shm_name is None:
@@ -413,8 +492,11 @@ def attach_shared_model(spec: SharedModelSpec) -> AttachedModel:
             )
             view.flags.writeable = False
             views[name] = view
+        if spec.stamps is not None and spec.stamps.shm_name is not None:
+            stamps = _attach_array(spec.stamps, blocks)
     except Exception:
         for block in blocks:
             block.close()
         raise
-    return AttachedModel(model, views, blocks)
+    return AttachedModel(model, views, blocks, stamps=stamps,
+                         names=spec.names)

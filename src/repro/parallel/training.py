@@ -42,6 +42,7 @@ from ..core.trainer import train_chunk
 from ..graph.index import index_of
 from .engine import GraphRef, ModelRef, WorkerPool, _ensure_graph, _ensure_model
 from .planner import ContiguousShardPlanner, ShardPlanner, validate_plan
+from .shm import changed_parameter_names
 
 
 def _train_shard(task: tuple) -> List[Tuple[float, List[Optional[np.ndarray]]]]:
@@ -124,9 +125,25 @@ class ShardedTrainingRunner:
         self._graph = graph
         self._bound_index = index
 
-    def publish(self) -> None:
+    def publish(self, changed=None) -> None:
         """Republish the model's current parameters to the workers."""
-        self._model_ref = self.pool.publish_model(self.model)
+        self._model_ref = self.pool.publish_model(self.model, changed=changed)
+
+    def publish_step(self, grads) -> None:
+        """Republish after one optimizer step, shipping only the delta.
+
+        ``grads`` is the merged gradient list the step consumed;
+        :func:`~repro.parallel.shm.changed_parameter_names` turns it
+        into the exact set of parameters Adam/EMA rewrote, so the
+        mailbox copies (and stamps) just those — workers pull the same
+        subset on their next task.
+        """
+        if self.pool.bound_model is not self.model:
+            # Slot was stolen between steps; a delta against someone
+            # else's baseline would be wrong — full re-export instead.
+            self.publish()
+            return
+        self.publish(changed=changed_parameter_names(self.model, grads))
 
     # ------------------------------------------------------------------
     # Step execution

@@ -53,6 +53,12 @@ class ModelRegistry:
         exclusive per-name lock, so concurrent publishers (several
         training jobs targeting one registry) cannot claim the same
         version or drop each other's manifest entries.
+
+        The checkpoint lands atomically: it is written to a temporary
+        file in the model directory and ``os.replace``\\ d into its
+        final name before the manifest mentions it, so a polling loader
+        (the gateway's registry watcher) can never open a half-written
+        ``.npz`` — it either sees the complete file or no entry at all.
         """
         self._check_name(name)
         directory = os.path.join(self.root, name)
@@ -62,7 +68,11 @@ class ModelRegistry:
             version = max((e["version"] for e in manifest["entries"]),
                           default=0) + 1
             filename = f"v{version:04d}.npz"
-            save_model(model, os.path.join(directory, filename))
+            # The temp name must keep the .npz suffix: np.savez appends
+            # one to suffix-less paths, which would break the replace.
+            tmp_path = os.path.join(directory, f".tmp-{filename}")
+            save_model(model, tmp_path)
+            os.replace(tmp_path, os.path.join(directory, filename))
             manifest["entries"].append({
                 "version": version,
                 "file": filename,

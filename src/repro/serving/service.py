@@ -666,6 +666,12 @@ class ScoringService:
             "store_version": self.store.version,
             "store_pending_edges": getattr(self.store, "pending_edges", 0),
             "store_compactions": getattr(self.store, "compactions", 0),
+            "store_drift_total": float(getattr(self.store, "drift_total", 0.0)),
+            "store_mutations": getattr(self.store, "mutations", 0),
+            "store_nodes_added": getattr(self.store, "nodes_added", 0),
+            "store_edges_added": getattr(self.store, "edges_added", 0),
+            "store_features_updated": getattr(self.store,
+                                              "features_updated", 0),
             "rounds": self.rounds,
         }
         stats.update({f"cache_{k}": v for k, v in self.cache.stats().items()})

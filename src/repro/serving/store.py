@@ -110,6 +110,14 @@ class GraphStore:
 
         #: Monotone mutation counter; 0 for a freshly constructed store.
         self.version = 0
+        # Churn counters: cumulative mutation volume since construction
+        # (the initial load does not count).  ``drift_total`` accumulates
+        # the L2 norm of every feature overwrite — the drift signal the
+        # lifecycle controller's trigger policies watch.
+        self.nodes_added = 0
+        self.edges_added = 0
+        self.features_updated = 0
+        self.drift_total = 0.0
         self._region_version = np.zeros(0, dtype=np.int64)
         self._index: Optional[Union[GraphIndex, OverlayIndex]] = None
         self._edge_map: Dict[Tuple[int, int], int] = {}
@@ -158,6 +166,13 @@ class GraphStore:
     def pending_edges(self) -> int:
         """Edges in the delta overlay (appended since the last compaction)."""
         return self._edge_count - self._base_edge_count
+
+    @property
+    def mutations(self) -> int:
+        """Total mutation churn: nodes added + edges added + feature
+        rows overwritten since construction (never resets — consumers
+        diff against a baseline, like the lifecycle trigger policies)."""
+        return self.nodes_added + self.edges_added + self.features_updated
 
     def neighbors(self, node: int) -> np.ndarray:
         """Sorted 1-hop neighbours — same order as ``Graph.neighbors``."""
@@ -274,6 +289,7 @@ class GraphStore:
             raise ValueError(
                 f"expected {self._dim} features per node, got {features.shape[1]}")
         self.version += 1
+        self.nodes_added += features.shape[0]
         return self._append_nodes(features, labels)
 
     def add_edges(self, edges: np.ndarray,
@@ -289,6 +305,7 @@ class GraphStore:
             raise ValueError(f"edges must have shape (M, 2), got {edges.shape}")
         self.version += 1
         added = self._insert_edges(edges, labels)
+        self.edges_added += added
         self._maybe_compact()
         return added
 
@@ -296,8 +313,12 @@ class GraphStore:
         """Insert one edge; returns whether it was new."""
         return self.add_edges(np.array([[u, v]]), labels=[label]) == 1
 
-    def update_features(self, nodes, features: np.ndarray) -> None:
-        """Overwrite feature rows; dirties the surrounding region."""
+    def update_features(self, nodes, features: np.ndarray) -> float:
+        """Overwrite feature rows; dirties the surrounding region.
+
+        Returns the drift magnitude of this update — the L2 norm of
+        the delta against the rows being replaced (computed before the
+        overwrite) — and folds it into :attr:`drift_total`."""
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
         if features.shape != (len(nodes), self._dim):
@@ -307,8 +328,12 @@ class GraphStore:
         if len(nodes) and (nodes.min() < 0 or nodes.max() >= self._num_nodes):
             raise IndexError("node id out of range")
         self.version += 1
+        magnitude = float(np.linalg.norm(features - self._features[nodes]))
+        self.drift_total += magnitude
+        self.features_updated += len(nodes)
         self._features[nodes] = features
         self._touch_region(nodes)
+        return magnitude
 
     # ------------------------------------------------------------------
     # Dirty-region bookkeeping

@@ -45,11 +45,18 @@ class EdgeArrived:
 
 @dataclass(frozen=True)
 class FeatureDrift:
-    """An existing node's attributes change in place."""
+    """An existing node's attributes change in place.
+
+    ``magnitude`` is the L2 norm of the feature delta the event will
+    apply (``None`` when the producer did not precompute it — the store
+    measures the actual delta on apply either way and accumulates it
+    into ``GraphStore.drift_total``, the lifecycle trigger signal).
+    """
 
     node: int
     features: np.ndarray
     label: Optional[int] = None  # None keeps the node's current label
+    magnitude: Optional[float] = None
 
 
 Event = Union[NodeArrived, EdgeArrived, FeatureDrift]
@@ -67,6 +74,8 @@ class StreamSnapshot:
     top_nodes: np.ndarray        # highest-scoring node ids, descending
     pending_edges: int = 0       # overlay size (edges since last compaction)
     compactions: int = 0         # compactions performed so far
+    drift_total: float = 0.0     # cumulative feature-drift L2 magnitude
+    mutations: int = 0           # cumulative churn (nodes+edges+updates)
 
     @property
     def rescored_fraction(self) -> float:
@@ -117,6 +126,8 @@ class StreamDriver:
             pending_edges=int(getattr(self.service.store,
                                       "pending_edges", 0)),
             compactions=int(getattr(self.service.store, "compactions", 0)),
+            drift_total=float(getattr(self.service.store, "drift_total", 0.0)),
+            mutations=int(getattr(self.service.store, "mutations", 0)),
         )
 
     def replay(self, events: Sequence[Event],
@@ -180,7 +191,9 @@ def synthetic_event_stream(
                 drifted = -base + rng.normal(0.0, 0.1, size=base.shape)
             else:
                 drifted = base + rng.normal(0.0, 0.05, size=base.shape)
-            events.append(FeatureDrift(node, drifted, label=int(anomalous)))
+            events.append(FeatureDrift(
+                node, drifted, label=int(anomalous),
+                magnitude=float(np.linalg.norm(drifted - base))))
         else:
             template = int(rng.integers(0, n))
             base = features[template]

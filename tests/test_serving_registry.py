@@ -1,5 +1,8 @@
 """Tests for the model registry and checkpoint format versioning."""
 
+import os
+import threading
+
 import numpy as np
 import pytest
 
@@ -104,3 +107,48 @@ class TestFormatVersion:
         np.savez(path, **archive)
         with pytest.raises(ValueError, match="format version"):
             load_model(path)
+
+
+class TestAtomicPublish:
+    def test_no_temp_artifacts_left_behind(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "models"))
+        registry.publish(tiny_model(), "bourne")
+        registry.publish(tiny_model(seed=1), "bourne")
+        leftovers = [name for name in os.listdir(tmp_path / "models" / "bourne")
+                     if name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_polling_loader_never_sees_partial_checkpoint(self, tmp_path):
+        """publish() must be atomic: a loader polling `latest` + `load`
+        in a tight loop while versions are published back-to-back must
+        never observe a half-written .npz (the pre-fix symptom was a
+        zipfile/OSError from np.load on a file mid-write)."""
+        registry = ModelRegistry(str(tmp_path / "models"))
+        registry.publish(tiny_model(seed=0), "bourne")
+        stop = threading.Event()
+        failures = []
+        loads = [0]
+
+        def poll():
+            while not stop.is_set():
+                try:
+                    version = registry.latest("bourne")
+                    registry.load("bourne", version)
+                    loads[0] += 1
+                except Exception as error:  # any error = torn read
+                    failures.append(repr(error))
+                    return
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        try:
+            for seed in range(1, 12):
+                registry.publish(tiny_model(seed=seed), "bourne")
+        finally:
+            stop.set()
+            poller.join(timeout=30)
+        assert not failures, failures
+        assert loads[0] > 0
+        assert registry.latest("bourne") == 12
+        assert_same_parameters(registry.load("bourne", 12),
+                               tiny_model(seed=11))
